@@ -1,0 +1,379 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each benchmark regenerates its dataset and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reprints the paper's results next to wall-clock cost. Trace-driven
+// benchmarks run at a reduced NPB scale (the cmd/ tools run full scale).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/dsent"
+	"repro/internal/link"
+	"repro/internal/noc"
+	"repro/internal/npb"
+	"repro/internal/optical"
+	"repro/internal/routing"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// BenchmarkFig3LinkCLEAR regenerates the link-level CLEAR curves and
+// reports where the electronic→HyPPI crossover falls (paper: between
+// intra-processor and inter-core distances).
+func BenchmarkFig3LinkCLEAR(b *testing.B) {
+	var crossoverM float64
+	for i := 0; i < b.N; i++ {
+		pts, err := link.Sweep(link.Fig3Lengths())
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossoverM = 0
+		for _, p := range pts {
+			if p.Best() == tech.HyPPI {
+				crossoverM = p.LengthM
+				break
+			}
+		}
+	}
+	b.ReportMetric(crossoverM/units.Micrometre, "crossover_µm")
+}
+
+// BenchmarkTableIIICapabilityR regenerates Table III: capability C and
+// utilization growth R for the plain mesh and the three express hop
+// lengths.
+func BenchmarkTableIIICapabilityR(b *testing.B) {
+	o := core.DefaultOptions()
+	pts := []core.DesignPoint{
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 0},
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 5},
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 15},
+	}
+	var res []core.ExplorationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.Explore(pts, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res[0].CapabilityGbpsPerNode, "C_plain_Gbps")
+	b.ReportMetric(res[1].CapabilityGbpsPerNode, "C_h3_Gbps")
+	b.ReportMetric(res[0].R, "R_plain")
+	b.ReportMetric(res[1].R, "R_h3")
+	b.ReportMetric(res[3].R, "R_h15")
+}
+
+// BenchmarkFig5DesignSpace regenerates the full 30-point Fig. 5 grid and
+// reports the paper's headline CLEAR improvement (E base + HyPPI express @3
+// vs plain E mesh; paper: up to 1.8×).
+func BenchmarkFig5DesignSpace(b *testing.B) {
+	o := core.DefaultOptions()
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Explore(core.DefaultDesignSpace(), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratios := core.CLEARRatioVsPlain(res)
+		headline = ratios[core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}]
+	}
+	b.ReportMetric(headline, "CLEAR_ratio_EH3")
+}
+
+// BenchmarkTableIVStaticPower regenerates the static power table (paper:
+// E base 1.53 W; photonic express ≈3.08 W @3 hops; HyPPI ≈1.545 W).
+func BenchmarkTableIVStaticPower(b *testing.B) {
+	o := core.DefaultOptions()
+	pts := []core.DesignPoint{
+		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+		{Base: tech.Electronic, Express: tech.Photonic, Hops: 3},
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
+	}
+	var res []core.ExplorationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.Explore(pts, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res[0].StaticW, "static_base_W")
+	b.ReportMetric(res[1].StaticW, "static_photonic_h3_W")
+	b.ReportMetric(res[2].StaticW, "static_hyppi_h3_W")
+}
+
+// benchTraceCfg returns the reduced-scale NPB config used by the
+// trace-driven benchmarks.
+func benchTraceCfg(k npb.Kernel) npb.Config {
+	cfg := npb.DefaultConfig(k)
+	cfg.Scale = 1.0 / 64
+	cfg.Iterations = 1
+	return cfg
+}
+
+// BenchmarkFig6NPBLatency regenerates the Fig. 6 latency bars per kernel
+// (reduced scale), reporting mesh latency and the best express speedup.
+func BenchmarkFig6NPBLatency(b *testing.B) {
+	o := core.DefaultOptions()
+	for _, k := range npb.Kernels {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			var mesh, best float64
+			for i := 0; i < b.N; i++ {
+				lat := map[int]float64{}
+				for _, hops := range []int{0, 3, 5, 15} {
+					point := core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: hops}
+					res, err := core.RunTraceExperiment(benchTraceCfg(k), point, o, noc.DefaultConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					lat[hops] = res.AvgLatencyClks
+				}
+				mesh = lat[0]
+				best = 0
+				for _, hops := range []int{3, 5, 15} {
+					if s := lat[0] / lat[hops]; s > best {
+						best = s
+					}
+				}
+			}
+			b.ReportMetric(mesh, "mesh_latency_clks")
+			b.ReportMetric(best, "best_speedup_x")
+		})
+	}
+}
+
+// BenchmarkTableVDynamicEnergy regenerates the FT dynamic-energy comparison
+// (reduced scale): electronic vs photonic vs HyPPI express at 3 hops
+// (paper: 0.0054 / 0.9353 / 0.0049 J, base mesh 0.0042 J).
+func BenchmarkTableVDynamicEnergy(b *testing.B) {
+	o := core.DefaultOptions()
+	var base, elec, photonic, hyppi float64
+	for i := 0; i < b.N; i++ {
+		run := func(p core.DesignPoint) float64 {
+			res, err := core.RunTraceExperiment(benchTraceCfg(npb.FT), p, o, noc.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.DynamicEnergyJ
+		}
+		base = run(core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0})
+		elec = run(core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 3})
+		photonic = run(core.DesignPoint{Base: tech.Electronic, Express: tech.Photonic, Hops: 3})
+		hyppi = run(core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3})
+	}
+	b.ReportMetric(base*1e6, "base_µJ")
+	b.ReportMetric(elec*1e6, "elec_h3_µJ")
+	b.ReportMetric(photonic*1e6, "photonic_h3_µJ")
+	b.ReportMetric(hyppi*1e6, "hyppi_h3_µJ")
+}
+
+// BenchmarkTableVIRouters regenerates the optical router comparison and the
+// optimal port assignment cost.
+func BenchmarkTableVIRouters(b *testing.B) {
+	var w optical.TurnWeights
+	w[optical.West][optical.East] = 10
+	w[optical.East][optical.West] = 10
+	w[optical.North][optical.South] = 3
+	w[optical.South][optical.North] = 3
+	w[optical.Local][optical.East] = 1
+	w[optical.West][optical.Local] = 1
+	var hyppiCost, photonicCost float64
+	for i := 0; i < b.N; i++ {
+		_, hyppiCost = optical.HyPPIRouter().OptimalAssignment(w)
+		_, photonicCost = optical.PhotonicRouter().OptimalAssignment(w)
+	}
+	b.ReportMetric(hyppiCost, "hyppi_mean_loss_dB")
+	b.ReportMetric(photonicCost, "photonic_mean_loss_dB")
+}
+
+// BenchmarkFig8AllOptical regenerates the radar projections, reporting the
+// two headline ratios (paper: optical ≈255× more energy efficient than
+// electronics; all-HyPPI ≈100× smaller than all-photonic).
+func BenchmarkFig8AllOptical(b *testing.B) {
+	o := core.DefaultOptions()
+	var radar optical.Radar
+	for i := 0; i < b.N; i++ {
+		var err error
+		radar, err = core.AllOpticalRadar(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(radar.Electronic.EnergyPerBitJ/radar.HyPPI.EnergyPerBitJ, "energy_ratio_E_vs_HyPPI")
+	b.ReportMetric(radar.Photonic.AreaM2/radar.HyPPI.AreaM2, "area_ratio_P_vs_HyPPI")
+	b.ReportMetric(radar.HyPPI.AreaM2/units.MillimetreSq, "hyppi_area_mm2")
+}
+
+// BenchmarkAblationInjectionSweep sweeps the injection rate 0.01→0.1
+// (paper: only a small CLEAR reduction) and reports the ratio.
+func BenchmarkAblationInjectionSweep(b *testing.B) {
+	net := topology.MustBuild(topology.DefaultConfig())
+	tab := routing.MustBuild(net, routing.MonotoneExpress)
+	base := traffic.MustSoteriou(net, traffic.DefaultSoteriou())
+	params := analytic.DefaultParams()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		lo, err := analytic.Evaluate(net, tab, base.ScaledToMaxRate(0.01), params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hi, err := analytic.Evaluate(net, tab, base.ScaledToMaxRate(0.1), params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = lo.CLEAR / hi.CLEAR
+	}
+	b.ReportMetric(ratio, "CLEAR_r0.01_over_r0.1")
+}
+
+// BenchmarkAblationRoutingPolicy compares the deadlock-free monotone policy
+// against BookSim-style BFS shortest hops on the hops=5 hybrid: BFS finds
+// shorter routes via express on-ramps at the price of deadlock risk in a
+// real router (the simulator only runs the monotone policy).
+func BenchmarkAblationRoutingPolicy(b *testing.B) {
+	c := topology.DefaultConfig()
+	c.ExpressTech = tech.HyPPI
+	c.ExpressHops = 5
+	net := topology.MustBuild(c)
+	tm := traffic.MustSoteriou(net, traffic.DefaultSoteriou())
+	params := analytic.DefaultParams()
+	var dMono, dBFS float64
+	for i := 0; i < b.N; i++ {
+		mono, err := analytic.Evaluate(net, routing.MustBuild(net, routing.MonotoneExpress), tm, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bfs, err := analytic.Evaluate(net, routing.MustBuild(net, routing.ShortestHops), tm, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dMono, dBFS = mono.MeanHops, bfs.MeanHops
+	}
+	b.ReportMetric(dMono, "mean_hops_monotone")
+	b.ReportMetric(dBFS, "mean_hops_bfs")
+}
+
+// BenchmarkSimulatorThroughput measures the raw cycle-accurate simulator
+// speed in flit-hops per second on uniform traffic.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	net := topology.MustBuild(topology.DefaultConfig())
+	tab := routing.MustBuild(net, routing.MonotoneExpress)
+	cfg := npb.DefaultConfig(npb.MG)
+	cfg.Scale = 1.0 / 32
+	events := npb.MustGenerate(cfg)
+	var flitHops float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := noc.New(net, tab, noc.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts, err := trace.Packetize(events, net.NumNodes(), trace.DefaultPacketize())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.InjectAll(pkts); err != nil {
+			b.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hops int64
+		for _, v := range st.LinkFlits {
+			hops += v
+		}
+		flitHops = float64(hops)
+	}
+	b.ReportMetric(flitHops*float64(b.N)/b.Elapsed().Seconds(), "flit-hops/s")
+}
+
+// BenchmarkExtensionWDMSweep quantifies the paper's wavelength-count
+// argument: photonic link static power as rings are added beyond the
+// 2-λ minimum, with capacity pinned by the SERDES.
+func BenchmarkExtensionWDMSweep(b *testing.B) {
+	cfg := dsent.DefaultConfig()
+	var w2, w8 float64
+	for i := 0; i < b.N; i++ {
+		l2, err := dsent.LinkWDM(cfg, tech.Photonic, units.Millimetre, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l8, err := dsent.LinkWDM(cfg, tech.Photonic, units.Millimetre, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w2, w8 = l2.StaticW, l8.StaticW
+	}
+	b.ReportMetric(w2*1e3, "static_2λ_mW")
+	b.ReportMetric(w8*1e3, "static_8λ_mW")
+}
+
+// BenchmarkExtensionExpress2D evaluates the "express cube" extension the
+// paper declines (express links in both dimensions, 9-port routers):
+// CLEAR and latency vs the paper's horizontal-only hybrid.
+func BenchmarkExtensionExpress2D(b *testing.B) {
+	o := core.DefaultOptions()
+	params := analytic.Params{DSENT: o.DSENT, RouterPipelineClks: o.RouterPipelineClks}
+	var clear1, clear2, lat1, lat2 float64
+	for i := 0; i < b.N; i++ {
+		eval := func(both bool) analytic.Result {
+			c := o.Topology
+			c.BaseTech = tech.Electronic
+			c.ExpressTech = tech.HyPPI
+			c.ExpressHops = 3
+			c.ExpressBothDims = both
+			net := topology.MustBuild(c)
+			tab := routing.MustBuild(net, routing.MonotoneExpress)
+			tm := traffic.MustSoteriou(net, o.Traffic)
+			res, err := analytic.Evaluate(net, tab, tm, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		}
+		r1 := eval(false)
+		r2 := eval(true)
+		clear1, clear2 = r1.CLEAR, r2.CLEAR
+		lat1, lat2 = r1.AvgLatencyClks, r2.AvgLatencyClks
+	}
+	b.ReportMetric(clear1, "CLEAR_1D")
+	b.ReportMetric(clear2, "CLEAR_2D")
+	b.ReportMetric(lat1, "latency_1D_clks")
+	b.ReportMetric(lat2, "latency_2D_clks")
+}
+
+// BenchmarkExtensionLoadLatency sweeps offered load through the
+// cycle-accurate simulator on an 8×8 express mesh — the classic saturation
+// curve, reported as latency at low/mid load.
+func BenchmarkExtensionLoadLatency(b *testing.B) {
+	c := topology.DefaultConfig()
+	c.Width, c.Height = 8, 8
+	c.ExpressTech = tech.HyPPI
+	c.ExpressHops = 3
+	net := topology.MustBuild(c)
+	tab := routing.MustBuild(net, routing.MonotoneExpress)
+	base := traffic.Uniform(net, 0.1)
+	w := noc.BernoulliWorkload{SizeFlits: 1, Cycles: 3000, Seed: 11}
+	var low, mid float64
+	for i := 0; i < b.N; i++ {
+		pts, err := noc.LoadLatencyCurve(net, tab, base, []float64{0.05, 0.35}, w, noc.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		low, mid = pts[0].AvgLatencyClks, pts[1].AvgLatencyClks
+	}
+	b.ReportMetric(low, "latency_r0.05_clks")
+	b.ReportMetric(mid, "latency_r0.35_clks")
+}

@@ -1,0 +1,145 @@
+// Command hyppi-all runs the complete reproduction and writes one CSV per
+// paper table/figure into a results directory — the single command that
+// regenerates the paper's evaluation section.
+//
+// Usage:
+//
+//	hyppi-all [-out results] [-scale 0.0625] [-skip-traces]
+//
+// The trace simulations (Fig. 6 / Table V) dominate the runtime (a few
+// minutes at the default scale); -skip-traces omits them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/npb"
+	"repro/internal/report"
+	"repro/internal/tech"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	scale := flag.Float64("scale", 1.0/16, "NPB volume scale for trace runs")
+	skipTraces := flag.Bool("skip-traces", false, "skip the cycle-accurate trace simulations")
+	flag.Parse()
+
+	if err := run(*out, *scale, *skipTraces); err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-all:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, scale float64, skipTraces bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	o := core.DefaultOptions()
+
+	write := func(name string, fill func(*os.File) error) error {
+		path := filepath.Join(dir, name)
+		start := time.Now()
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fill(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		// Write-through sanity check.
+		rf, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		rows, err := report.Check(rf)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%-24s %4d rows  %v\n", name, rows, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	// Fig. 3.
+	if err := write("fig3_link_clear.csv", func(f *os.File) error {
+		pts, err := core.LinkSweep()
+		if err != nil {
+			return err
+		}
+		return report.WriteLinkSweep(f, pts)
+	}); err != nil {
+		return err
+	}
+
+	// Fig. 5 + Tables III/IV.
+	if err := write("fig5_design_space.csv", func(f *os.File) error {
+		res, err := core.Explore(core.DefaultDesignSpace(), o)
+		if err != nil {
+			return err
+		}
+		return report.WriteExploration(f, res)
+	}); err != nil {
+		return err
+	}
+
+	// Fig. 8 + Table VI.
+	if err := write("fig8_all_optical.csv", func(f *os.File) error {
+		radar, err := core.AllOpticalRadar(o)
+		if err != nil {
+			return err
+		}
+		return report.WriteRadar(f, radar)
+	}); err != nil {
+		return err
+	}
+
+	if skipTraces {
+		return nil
+	}
+
+	// Fig. 6 + Table V: four kernels × (plain + three hop lengths) ×
+	// three express technologies for FT (Table V), HyPPI for the rest.
+	return write("fig6_table5_traces.csv", func(f *os.File) error {
+		var results []core.TraceResult
+		runOne := func(k npb.Kernel, express tech.Technology, hops int) error {
+			cfg := npb.DefaultConfig(k)
+			cfg.Scale = scale
+			res, err := core.RunTraceExperiment(cfg,
+				core.DesignPoint{Base: tech.Electronic, Express: express, Hops: hops},
+				o, noc.DefaultConfig())
+			if err != nil {
+				return fmt.Errorf("%v/%v@%d: %w", k, express, hops, err)
+			}
+			results = append(results, res)
+			return nil
+		}
+		for _, k := range npb.Kernels {
+			if err := runOne(k, tech.HyPPI, 0); err != nil {
+				return err
+			}
+			for _, hops := range []int{3, 5, 15} {
+				if err := runOne(k, tech.HyPPI, hops); err != nil {
+					return err
+				}
+			}
+		}
+		for _, express := range []tech.Technology{tech.Electronic, tech.Photonic} {
+			for _, hops := range []int{3, 5, 15} {
+				if err := runOne(npb.FT, express, hops); err != nil {
+					return err
+				}
+			}
+		}
+		return report.WriteTraceResults(f, results)
+	})
+}

@@ -1,0 +1,104 @@
+// Command hyppi-explore runs the paper's Section III-B design-space
+// exploration: every hybrid NoC of Fig. 5 (base mesh technology × express
+// link technology × hop length) evaluated with the CLEAR figure of merit,
+// plus the Table III (capability C, utilization growth R) and Table IV
+// (static power) datasets.
+//
+// Usage:
+//
+//	hyppi-explore [-rate 0.1] [-seed 1] [-policy monotone|shortest]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/tech"
+)
+
+func main() {
+	rate := flag.Float64("rate", 0.1, "maximum per-node injection rate (flits/cycle)")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	policy := flag.String("policy", "monotone", "routing policy: monotone or shortest")
+	flag.Parse()
+
+	o := core.DefaultOptions()
+	o.Traffic.MaxInjectionRate = *rate
+	o.Traffic.Seed = *seed
+	switch *policy {
+	case "monotone":
+		o.Policy = routing.MonotoneExpress
+	case "shortest":
+		o.Policy = routing.ShortestHops
+	default:
+		fmt.Fprintf(os.Stderr, "hyppi-explore: unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	results, err := core.Explore(core.DefaultDesignSpace(), o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Table III — capability C and utilization growth R (fixed per topology)")
+	fmt.Printf("%-10s %-12s %-8s\n", "topology", "C (Gb/s)", "R")
+	seen := map[int]bool{}
+	for _, r := range results {
+		if r.Point.Base != tech.Electronic || seen[r.Point.Hops] {
+			continue
+		}
+		seen[r.Point.Hops] = true
+		name := "plain mesh"
+		if r.Point.Hops > 0 {
+			name = fmt.Sprintf("hops=%d", r.Point.Hops)
+		}
+		fmt.Printf("%-10s %-12.2f %-8.3f\n", name, r.CapabilityGbpsPerNode, r.R)
+	}
+
+	fmt.Println("\nTable IV — static power, electronic base mesh + express links")
+	fmt.Printf("%-12s %-10s %-10s %-10s\n", "express", "3 hops", "5 hops", "15 hops")
+	for _, e := range []tech.Technology{tech.Electronic, tech.Photonic, tech.HyPPI} {
+		row := map[int]float64{}
+		for _, r := range results {
+			if r.Point.Base == tech.Electronic && r.Point.Express == e && r.Point.Hops > 0 {
+				row[r.Point.Hops] = r.StaticW
+			}
+		}
+		fmt.Printf("%-12s %-10.3f %-10.3f %-10.3f\n", e, row[3], row[5], row[15])
+	}
+	for _, r := range results {
+		if r.Point.Base == tech.Electronic && r.Point.Hops == 0 {
+			fmt.Printf("base electronic mesh: %.3f W\n", r.StaticW)
+			break
+		}
+	}
+
+	fmt.Println("\nFig. 5 — system CLEAR / latency / power / area per design point")
+	fmt.Printf("%-42s %-10s %-9s %-9s %-10s %-8s\n",
+		"design point", "CLEAR", "lat(clk)", "power(W)", "area", "vs plain")
+	ratios := core.CLEARRatioVsPlain(results)
+	for _, r := range results {
+		fmt.Printf("%-42s %-10.4f %-9.1f %-9.3f %-10s %-8.2f\n",
+			r.Point, r.CLEAR, r.AvgLatencyClks, r.PowerW,
+			core.FormatArea(r.AreaM2), ratios[r.Point])
+	}
+
+	// Headline.
+	var plain, headline float64
+	for _, r := range results {
+		if r.Point.Base == tech.Electronic && r.Point.Hops == 0 {
+			plain = r.CLEAR
+		}
+		if r.Point.Base == tech.Electronic && r.Point.Express == tech.HyPPI && r.Point.Hops == 3 {
+			headline = r.CLEAR
+		}
+	}
+	if plain > 0 {
+		fmt.Printf("\nHeadline: E-mesh + HyPPI express @3 hops improves CLEAR by %.2fx (paper: up to 1.8x)\n",
+			headline/plain)
+	}
+}

@@ -1,0 +1,73 @@
+// Command hyppi-optical regenerates the paper's Section V projections:
+// Table VI (the WDM photonic router vs the plasmonic-switch HyPPI router)
+// and the Fig. 8 radar comparison of an electronic mesh, an all-photonic
+// NoC and an all-HyPPI NoC on latency, energy per bit and area.
+//
+// Usage:
+//
+//	hyppi-optical [-rate 0.1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/optical"
+	"repro/internal/units"
+)
+
+func main() {
+	rate := flag.Float64("rate", 0.1, "maximum per-node injection rate")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	flag.Parse()
+
+	o := core.DefaultOptions()
+	o.Traffic.MaxInjectionRate = *rate
+	o.Traffic.Seed = *seed
+
+	fmt.Println("Table VI — WDM-based photonic vs HyPPI optical routers")
+	fmt.Printf("%-12s %-18s %-16s %-12s\n", "technology", "control (fJ/bit)", "loss range (dB)", "area (µm²)")
+	for _, rm := range []optical.RouterModel{optical.PhotonicRouter(), optical.HyPPIRouter()} {
+		lo, hi := rm.LossRange()
+		fmt.Printf("%-12v %-18.2f %.2f–%-10.2f %-12.0f\n", rm.Tech, rm.ControlFJPerBit, lo, hi, rm.AreaUM2)
+	}
+
+	radar, err := core.AllOpticalRadar(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-optical:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nFig. 8 — all-optical radar (smaller triangle is better)")
+	fmt.Printf("%-14s %-16s %-14s %-12s %-14s\n",
+		"corner", "energy/bit", "latency (clk)", "area", "mean loss")
+	rows := []struct {
+		name string
+		p    optical.Projection
+	}{
+		{"Electronic", radar.Electronic},
+		{"All-Photonic", radar.Photonic},
+		{"All-HyPPI", radar.HyPPI},
+	}
+	for _, r := range rows {
+		loss := "-"
+		if r.p.MeanPathLossDB > 0 {
+			loss = fmt.Sprintf("%.1f dB (max %.1f)", r.p.MeanPathLossDB, r.p.WorstPathLossDB)
+		}
+		fmt.Printf("%-14s %-16s %-14.1f %-12s %-14s\n",
+			r.name, units.FormatSI(r.p.EnergyPerBitJ, "J/bit"),
+			r.p.LatencyClks, core.FormatArea(r.p.AreaM2), loss)
+	}
+
+	fmt.Printf("\nEnergy ratio electronic/all-HyPPI: %.0fx (paper: ~255x)\n",
+		radar.Electronic.EnergyPerBitJ/radar.HyPPI.EnergyPerBitJ)
+	fmt.Printf("Area ratio all-photonic/all-HyPPI: %.0fx (paper: ~103x)\n",
+		radar.Photonic.AreaM2/radar.HyPPI.AreaM2)
+	fmt.Printf("Area ratio electronic/all-HyPPI:   %.0fx (paper: ~18x)\n",
+		radar.Electronic.AreaM2/radar.HyPPI.AreaM2)
+	if optical.TriangleBetter(radar.HyPPI, radar.Electronic) && optical.TriangleBetter(radar.HyPPI, radar.Photonic) {
+		fmt.Println("All-HyPPI encloses the smallest radar triangle, as in the paper.")
+	}
+}

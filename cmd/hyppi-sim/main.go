@@ -1,0 +1,147 @@
+// Command hyppi-sim is the trace-driven cycle-accurate simulation harness
+// behind Fig. 6 and Table V: it runs NPB kernel traces (built in, or read
+// from a file produced by hyppi-trace) on the base electronic mesh and on
+// express-augmented hybrids, reporting average packet latency and total
+// dynamic energy per configuration.
+//
+// Usage:
+//
+//	hyppi-sim [-kernel FT|CG|MG|LU|all] [-express HyPPI] [-scale 0.0625]
+//	hyppi-sim -trace file.txt [-express Photonic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/npb"
+	"repro/internal/routing"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	kernel := flag.String("kernel", "all", "kernel: FT, CG, MG, LU or all")
+	traceFile := flag.String("trace", "", "external trace file (overrides -kernel)")
+	express := flag.String("express", "HyPPI", "express link technology: Electronic, Photonic or HyPPI")
+	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
+	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
+	flag.Parse()
+
+	exTech, err := tech.ParseTechnology(*express)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+		os.Exit(1)
+	}
+	o := core.DefaultOptions()
+
+	if *traceFile != "" {
+		if err := runExternal(*traceFile, exTech, o); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	kernels := npb.Kernels
+	if *kernel != "all" {
+		k, err := npb.ParseKernel(*kernel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+			os.Exit(1)
+		}
+		kernels = []npb.Kernel{k}
+	}
+
+	fmt.Printf("Fig. 6 — average packet latency (clks), express = %v\n", exTech)
+	fmt.Printf("%-8s %-12s %-12s %-12s %-12s %-18s\n",
+		"kernel", "mesh", "hops=3", "hops=5", "hops=15", "best speedup")
+	for _, k := range kernels {
+		cfg := npb.DefaultConfig(k)
+		cfg.Scale = *scale
+		cfg.Iterations = *iters
+		var lat [4]float64
+		var energy [4]float64
+		for i, hops := range []int{0, 3, 5, 15} {
+			point := core.DesignPoint{Base: tech.Electronic, Express: exTech, Hops: hops}
+			res, err := core.RunTraceExperiment(cfg, point, o, noc.DefaultConfig())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hyppi-sim: %v %v: %v\n", k, point, err)
+				os.Exit(1)
+			}
+			lat[i] = res.AvgLatencyClks
+			energy[i] = res.DynamicEnergyJ
+		}
+		best := lat[0] / min3(lat[1], lat[2], lat[3])
+		fmt.Printf("%-8s %-12.2f %-12.2f %-12.2f %-12.2f %.2fx\n",
+			k, lat[0], lat[1], lat[2], lat[3], best)
+		fmt.Printf("%-8s %-12s %-12s %-12s %-12s (dynamic energy, Table V style)\n",
+			"", core.FormatEnergy(energy[0]), core.FormatEnergy(energy[1]),
+			core.FormatEnergy(energy[2]), core.FormatEnergy(energy[3]))
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// runExternal replays a trace file on mesh and hops=3/5/15 hybrids.
+func runExternal(path string, exTech tech.Technology, o core.Options) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %d messages, %d bytes\n", path, len(events), trace.TotalBytes(events))
+	for _, hops := range []int{0, 3, 5, 15} {
+		c := o.Topology
+		c.BaseTech = tech.Electronic
+		c.ExpressTech = exTech
+		c.ExpressHops = hops
+		net, err := topology.Build(c)
+		if err != nil {
+			return err
+		}
+		tab, err := routing.Build(net, o.Policy)
+		if err != nil {
+			return err
+		}
+		packets, err := trace.Packetize(events, net.NumNodes(), trace.DefaultPacketize())
+		if err != nil {
+			return err
+		}
+		sim, err := noc.New(net, tab, noc.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if err := sim.InjectAll(packets); err != nil {
+			return err
+		}
+		stats, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		dynamic, static, err := core.PriceRun(net, stats, o.DSENT)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hops=%-3d latency %-10.2f dynamic %-12s static %.3f W\n",
+			hops, stats.AvgPacketLatencyClks, core.FormatEnergy(dynamic), static)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package repro reproduces "HyPPI NoC: Bringing Hybrid Plasmonics to an
+// Opto-Electronic Network-on-Chip" (Narayana, Sun, Mehrabian, Sorger,
+// El-Ghazawi — ICPP 2017, arXiv:1703.04646) as a self-contained Go library.
+//
+// The root module only hosts the benchmark harness (bench_test.go), which
+// regenerates every table and figure of the paper's evaluation; the
+// implementation lives under internal/:
+//
+//	internal/tech      Table I device catalogue + technology enumeration
+//	internal/link      bare link models and link-level CLEAR (Fig. 3)
+//	internal/dsent     modified-DSENT component cost models (11 nm)
+//	internal/topology  16×16 mesh and express-link topologies (Fig. 2)
+//	internal/routing   dimension-ordered express routing + BFS tables
+//	internal/traffic   Soteriou synthetic statistical traffic
+//	internal/analytic  Section III-B system CLEAR evaluation (Fig. 5)
+//	internal/noc       cycle-accurate VC-router simulator (BookSim role)
+//	internal/trace     trace format + paper-style packetization
+//	internal/npb       synthetic NAS Parallel Benchmark traces
+//	internal/optical   all-optical routers and Fig. 8 projections
+//	internal/core      experiment façade tying it all together
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

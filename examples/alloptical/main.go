@@ -1,0 +1,54 @@
+// Alloptical regenerates the Fig. 8 radar comparison: an electronic mesh vs
+// a fully photonic NoC vs a fully HyPPI NoC, on the three cost axes latency,
+// energy per bit and area — including the optimal assignment of mesh
+// directions to optical router ports that keeps X-Y routes off the lossy
+// switch paths.
+//
+// Run with:
+//
+//	go run ./examples/alloptical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/optical"
+	"repro/internal/units"
+)
+
+func main() {
+	radar, err := core.AllOpticalRadar(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	print := func(name string, p optical.Projection) {
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  energy    %s\n", units.FormatSI(p.EnergyPerBitJ, "J/bit"))
+		fmt.Printf("  latency   %.1f clks\n", p.LatencyClks)
+		fmt.Printf("  area      %s\n", core.FormatArea(p.AreaM2))
+		if p.MeanPathLossDB > 0 {
+			fmt.Printf("  path loss mean %.1f dB, worst %.1f dB\n",
+				p.MeanPathLossDB, p.WorstPathLossDB)
+			fmt.Printf("  port map  Local→%d E→%d W→%d N→%d S→%d\n",
+				p.Assignment[optical.Local], p.Assignment[optical.East],
+				p.Assignment[optical.West], p.Assignment[optical.North],
+				p.Assignment[optical.South])
+		}
+		fmt.Println()
+	}
+	print("Electronic mesh", radar.Electronic)
+	print("All-Photonic NoC", radar.Photonic)
+	print("All-HyPPI NoC", radar.HyPPI)
+
+	fmt.Printf("electronic/all-HyPPI energy ratio: %.0fx\n",
+		radar.Electronic.EnergyPerBitJ/radar.HyPPI.EnergyPerBitJ)
+	fmt.Printf("all-photonic/all-HyPPI area ratio: %.0fx\n",
+		radar.Photonic.AreaM2/radar.HyPPI.AreaM2)
+	if optical.TriangleBetter(radar.HyPPI, radar.Electronic) &&
+		optical.TriangleBetter(radar.HyPPI, radar.Photonic) {
+		fmt.Println("all-HyPPI encloses the smallest radar triangle — the paper's conclusion")
+	}
+}

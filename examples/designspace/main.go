@@ -1,0 +1,49 @@
+// Designspace walks the full Fig. 5 grid — base mesh ∈ {Electronic,
+// Photonic, HyPPI} × express ∈ {plain, Electronic, Photonic, HyPPI} ×
+// hops ∈ {3, 5, 15} — and prints CLEAR with its four ingredients for every
+// point, highlighting the paper's two findings: the best-CLEAR network is a
+// HyPPI base mesh, while the best-latency network is an electronic base
+// mesh with HyPPI express links.
+//
+// Run with:
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+)
+
+func main() {
+	o := core.DefaultOptions()
+	results, err := core.Explore(core.DefaultDesignSpace(), o)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].CLEAR > results[j].CLEAR
+	})
+
+	fmt.Println("design points ranked by CLEAR (best first)")
+	fmt.Printf("%-44s %-9s %-9s %-9s %-11s %-7s\n",
+		"network", "CLEAR", "lat(clk)", "power(W)", "area", "R")
+	for _, r := range results {
+		fmt.Printf("%-44s %-9.4f %-9.1f %-9.3f %-11s %-7.3f\n",
+			r.Point, r.CLEAR, r.AvgLatencyClks, r.PowerW, core.FormatArea(r.AreaM2), r.R)
+	}
+
+	best := results[0]
+	fmt.Printf("\nbest CLEAR:   %s (%.4f)\n", best.Point, best.CLEAR)
+
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].AvgLatencyClks < results[j].AvgLatencyClks
+	})
+	fmt.Printf("best latency: %s (%.1f clks)\n", results[0].Point, results[0].AvgLatencyClks)
+	fmt.Println("\npaper: HyPPI base mesh wins CLEAR; an electronic base with HyPPI")
+	fmt.Println("express links is the latency-first choice with minimal power/area cost.")
+}

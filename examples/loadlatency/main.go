@@ -1,0 +1,67 @@
+// Loadlatency sweeps offered load through the cycle-accurate simulator and
+// prints the classic load-latency saturation curve for the plain electronic
+// mesh versus the HyPPI-express hybrid — showing that express links don't
+// just cut zero-load latency, they push the saturation point out (more
+// capability C, lower utilization growth R, in CLEAR terms).
+//
+// Run with:
+//
+//	go run ./examples/loadlatency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/noc"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+	w := noc.BernoulliWorkload{SizeFlits: 1, Cycles: 5000, Seed: 13}
+	cfg := noc.DefaultConfig()
+	cfg.MaxCycles = 200000
+
+	curve := func(hops int) []noc.LoadPoint {
+		c := topology.DefaultConfig()
+		c.Width, c.Height = 8, 8
+		c.ExpressTech = tech.HyPPI
+		c.ExpressHops = hops
+		net := topology.MustBuild(c)
+		tab := routing.MustBuild(net, routing.MonotoneExpress)
+		base := traffic.Uniform(net, 0.1)
+		pts, err := noc.LoadLatencyCurve(net, tab, base, rates, w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pts
+	}
+
+	mesh := curve(0)
+	express := curve(3)
+
+	tbl := stats.NewTable("rate", "mesh avg", "mesh p99", "express avg", "express p99")
+	cell := func(p noc.LoadPoint, q bool) string {
+		if p.Saturated {
+			return "saturated"
+		}
+		if q {
+			return fmt.Sprintf("%.1f", p.P99LatencyClks)
+		}
+		return fmt.Sprintf("%.1f", p.AvgLatencyClks)
+	}
+	for i, r := range rates {
+		tbl.AddRow(fmt.Sprintf("%.2f", r),
+			cell(mesh[i], false), cell(mesh[i], true),
+			cell(express[i], false), cell(express[i], true))
+	}
+	fmt.Println("8×8 uniform traffic, 1-flit packets (latencies in clks)")
+	fmt.Print(tbl)
+	fmt.Println("\nexpress links keep the curve flat deeper into the load range —")
+	fmt.Println("the simulator-level view of CLEAR's C (capability) and R terms.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: build the paper's two headline networks — a plain 16×16
+// electronic mesh and the same mesh augmented with HyPPI express links at
+// 3 hops — evaluate both with the CLEAR figure of merit, and inspect a
+// single HyPPI link along the way.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func main() {
+	// 1. A bare HyPPI link at the paper's 1 mm core spacing.
+	m := link.MustModel(tech.HyPPI)
+	met := m.Eval(1 * units.Millimetre)
+	fmt.Printf("bare HyPPI link @ 1 mm: %s, %s, %s, CLEAR %.3g\n",
+		units.FormatSI(met.DataRateBps, "b/s"),
+		units.FormatSI(met.LatencyS, "s"),
+		units.FormatSI(met.EnergyPerBitJ, "J/bit"),
+		met.CLEAR())
+
+	// 2. The two headline networks under the paper's synthetic traffic
+	// (Soteriou model, p=0.02, σ=0.4, peak injection 0.1 flits/cycle).
+	o := core.DefaultOptions()
+	points := []core.DesignPoint{
+		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
+	}
+	results, err := core.Explore(points, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("\n%s\n", r.Point)
+		fmt.Printf("  capability C   %.2f Gb/s per node\n", r.CapabilityGbpsPerNode)
+		fmt.Printf("  avg latency    %.1f clks\n", r.AvgLatencyClks)
+		fmt.Printf("  power          %.3f W (static %.3f + dynamic %.3f)\n",
+			r.PowerW, r.StaticW, r.DynamicW)
+		fmt.Printf("  area           %s\n", core.FormatArea(r.AreaM2))
+		fmt.Printf("  R = dU/dr      %.3f\n", r.R)
+		fmt.Printf("  CLEAR          %.4f\n", r.CLEAR)
+	}
+	fmt.Printf("\nCLEAR improvement from HyPPI express links: %.2fx (paper: up to 1.8x)\n",
+		results[1].CLEAR/results[0].CLEAR)
+}

@@ -1,0 +1,304 @@
+// Package core is the front door of the HyPPI NoC reproduction: it wires
+// the substrate packages (topology, routing, traffic, dsent, noc, npb,
+// optical) into the paper's experiments and exposes one call per
+// table/figure family:
+//
+//	LinkSweep          — Fig. 3  (link-level CLEAR vs length)
+//	Explore            — Fig. 5, Tables III & IV (hybrid design space)
+//	RunTraceExperiment — Fig. 6, Table V (cycle-accurate NPB traces)
+//	AllOpticalRadar    — Fig. 8, Table VI (fully optical projections)
+//
+// Every experiment is deterministic given its configuration.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/dsent"
+	"repro/internal/link"
+	"repro/internal/noc"
+	"repro/internal/npb"
+	"repro/internal/optical"
+	"repro/internal/routing"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// DesignPoint names one hybrid NoC of the Fig. 5 design space.
+type DesignPoint struct {
+	// Base is the mesh channel technology.
+	Base tech.Technology
+	// Express is the express channel technology (ignored for Hops == 0).
+	Express tech.Technology
+	// Hops is the express hop length: 0 (plain mesh), 3, 5 or 15.
+	Hops int
+}
+
+// String implements fmt.Stringer.
+func (p DesignPoint) String() string {
+	if p.Hops == 0 {
+		return fmt.Sprintf("%v mesh", p.Base)
+	}
+	return fmt.Sprintf("%v mesh + %v express@%d", p.Base, p.Express, p.Hops)
+}
+
+// DefaultDesignSpace enumerates the paper's Fig. 5 grid: base mesh in
+// {Electronic, Photonic, HyPPI} × (plain + express in the same three
+// technologies × hops {3, 5, 15}).
+func DefaultDesignSpace() []DesignPoint {
+	bases := []tech.Technology{tech.Electronic, tech.Photonic, tech.HyPPI}
+	var pts []DesignPoint
+	for _, b := range bases {
+		pts = append(pts, DesignPoint{Base: b, Express: b, Hops: 0})
+		for _, e := range bases {
+			for _, h := range []int{3, 5, 15} {
+				pts = append(pts, DesignPoint{Base: b, Express: e, Hops: h})
+			}
+		}
+	}
+	return pts
+}
+
+// Options carries the shared experiment configuration (Table II defaults).
+type Options struct {
+	// Topology is the base network geometry; the design point overrides
+	// its technologies and hop length.
+	Topology topology.Config
+	// DSENT is the component cost configuration.
+	DSENT dsent.Config
+	// RouterPipelineClks is the router pipeline depth.
+	RouterPipelineClks int
+	// Traffic is the synthetic statistical traffic configuration.
+	Traffic traffic.SoteriouConfig
+	// Policy selects the routing table construction.
+	Policy routing.Policy
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Topology:           topology.DefaultConfig(),
+		DSENT:              dsent.DefaultConfig(),
+		RouterPipelineClks: 3,
+		Traffic:            traffic.DefaultSoteriou(),
+		Policy:             routing.MonotoneExpress,
+	}
+}
+
+// BuildNetwork instantiates a design point's topology.
+func (o Options) BuildNetwork(p DesignPoint) (*topology.Network, error) {
+	c := o.Topology
+	c.BaseTech = p.Base
+	c.ExpressTech = p.Express
+	c.ExpressHops = p.Hops
+	return topology.Build(c)
+}
+
+// ExplorationResult pairs a design point with its analytic evaluation.
+type ExplorationResult struct {
+	Point DesignPoint
+	analytic.Result
+}
+
+// Explore runs the Section III-B evaluation across design points,
+// producing the Fig. 5 dataset (CLEAR, latency, power, area per point)
+// plus Table III (C, R) and Table IV (static power) values.
+func Explore(points []DesignPoint, o Options) ([]ExplorationResult, error) {
+	out := make([]ExplorationResult, 0, len(points))
+	params := analytic.Params{DSENT: o.DSENT, RouterPipelineClks: o.RouterPipelineClks}
+	for _, p := range points {
+		net, err := o.BuildNetwork(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", p, err)
+		}
+		tab, err := routing.Build(net, o.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", p, err)
+		}
+		tm, err := traffic.Soteriou(net, o.Traffic)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", p, err)
+		}
+		res, err := analytic.Evaluate(net, tab, tm, params)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", p, err)
+		}
+		out = append(out, ExplorationResult{Point: p, Result: res})
+	}
+	return out, nil
+}
+
+// LinkSweep regenerates the Fig. 3 dataset on the default length grid.
+func LinkSweep() ([]link.SweepPoint, error) {
+	return link.Sweep(link.Fig3Lengths())
+}
+
+// TraceResult is one bar of Fig. 6 plus the Table V energy accounting.
+type TraceResult struct {
+	Kernel npb.Kernel
+	Point  DesignPoint
+	// AvgLatencyClks is the simulated average packet latency.
+	AvgLatencyClks float64
+	// DynamicEnergyJ is the total dynamic energy of the run (links +
+	// routers), the Table V quantity.
+	DynamicEnergyJ float64
+	// StaticPowerW is the network's static power (Table IV quantity).
+	StaticPowerW float64
+	// Stats is the raw simulation output.
+	Stats noc.Stats
+}
+
+// RunTraceExperiment simulates one NPB kernel trace on one design point
+// with the cycle-accurate simulator, then prices the run with the
+// modified-DSENT models.
+func RunTraceExperiment(kernel npb.Config, point DesignPoint, o Options, nocCfg noc.Config) (TraceResult, error) {
+	events, err := npb.Generate(kernel)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	net, err := o.BuildNetwork(point)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	tab, err := routing.Build(net, o.Policy)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	packets, err := trace.Packetize(events, net.NumNodes(), trace.DefaultPacketize())
+	if err != nil {
+		return TraceResult{}, err
+	}
+	sim, err := noc.New(net, tab, nocCfg)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	if err := sim.InjectAll(packets); err != nil {
+		return TraceResult{}, err
+	}
+	stats, err := sim.Run()
+	if err != nil {
+		return TraceResult{}, err
+	}
+	dynamic, static, err := PriceRun(net, stats, o.DSENT)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	return TraceResult{
+		Kernel:         kernel.Kernel,
+		Point:          point,
+		AvgLatencyClks: stats.AvgPacketLatencyClks,
+		DynamicEnergyJ: dynamic,
+		StaticPowerW:   static,
+		Stats:          stats,
+	}, nil
+}
+
+// PriceRun converts simulator flit counters into total dynamic energy and
+// reports the network's static power, using the modified-DSENT models —
+// exactly how the paper computes Table V from BookSim flit counts.
+func PriceRun(net *topology.Network, stats noc.Stats, cfg dsent.Config) (dynamicJ, staticW float64, err error) {
+	type key struct {
+		t tech.Technology
+		l float64
+	}
+	linkCosts := map[key]dsent.LinkCost{}
+	for i, l := range net.Links {
+		k := key{l.Tech, l.LengthM}
+		lc, ok := linkCosts[k]
+		if !ok {
+			lc, err = dsent.Link(cfg, l.Tech, l.LengthM)
+			if err != nil {
+				return 0, 0, err
+			}
+			linkCosts[k] = lc
+		}
+		dynamicJ += float64(stats.LinkFlits[i]) * lc.DynamicJPerFlit
+		staticW += lc.StaticW
+	}
+	routerCosts := map[int]dsent.RouterCost{}
+	for id := 0; id < net.NumNodes(); id++ {
+		ports := net.Ports(topology.NodeID(id))
+		rc, ok := routerCosts[ports]
+		if !ok {
+			rc = dsent.ElectronicRouter(cfg, ports)
+			routerCosts[ports] = rc
+		}
+		dynamicJ += float64(stats.RouterFlits[id]) * rc.DynamicJPerFlit
+		staticW += rc.StaticW
+	}
+	return dynamicJ, staticW, nil
+}
+
+// AllOpticalRadar produces the Fig. 8 three-corner comparison under the
+// paper's synthetic traffic.
+func AllOpticalRadar(o Options) (optical.Radar, error) {
+	var radar optical.Radar
+	plain := DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}
+	net, err := o.BuildNetwork(plain)
+	if err != nil {
+		return radar, err
+	}
+	tab, err := routing.Build(net, o.Policy)
+	if err != nil {
+		return radar, err
+	}
+	tm, err := traffic.Soteriou(net, o.Traffic)
+	if err != nil {
+		return radar, err
+	}
+	res, err := analytic.Evaluate(net, tab, tm, analytic.Params{
+		DSENT: o.DSENT, RouterPipelineClks: o.RouterPipelineClks,
+	})
+	if err != nil {
+		return radar, err
+	}
+	delivered := tm.MeanRowSum() * float64(net.NumNodes()) *
+		float64(o.DSENT.FlitBits) * o.DSENT.ClockHz
+	radar.Electronic = optical.ElectronicReference(res.PowerW, res.AvgLatencyClks, res.AreaM2, delivered)
+
+	p := optical.DefaultParams()
+	p.LinkCapacityBps = o.DSENT.LinkCapacityBps
+	p.RouterPipelineClks = o.RouterPipelineClks
+	radar.HyPPI, err = optical.ProjectAllOptical(net, tab, tm, optical.HyPPIRouter(), p, res.AvgLatencyClks)
+	if err != nil {
+		return radar, err
+	}
+	radar.Photonic, err = optical.ProjectAllOptical(net, tab, tm, optical.PhotonicRouter(), p, res.AvgLatencyClks)
+	if err != nil {
+		return radar, err
+	}
+	return radar, nil
+}
+
+// CLEARRatioVsPlain returns each point's CLEAR normalized to the plain mesh
+// of the same base technology — the Fig. 5 presentation.
+func CLEARRatioVsPlain(results []ExplorationResult) map[DesignPoint]float64 {
+	plain := map[tech.Technology]float64{}
+	for _, r := range results {
+		if r.Point.Hops == 0 {
+			plain[r.Point.Base] = r.CLEAR
+		}
+	}
+	out := make(map[DesignPoint]float64, len(results))
+	for _, r := range results {
+		if base, ok := plain[r.Point.Base]; ok && base > 0 {
+			out[r.Point] = r.CLEAR / base
+		}
+	}
+	return out
+}
+
+// FormatPower renders watts for tables.
+func FormatPower(w float64) string { return units.FormatSI(w, "W") }
+
+// FormatEnergy renders joules for tables.
+func FormatEnergy(j float64) string { return units.FormatSI(j, "J") }
+
+// FormatArea renders square metres as mm².
+func FormatArea(a float64) string {
+	return fmt.Sprintf("%.3g mm²", a/units.MillimetreSq)
+}

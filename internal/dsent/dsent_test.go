@@ -1,0 +1,254 @@
+package dsent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func TestDefaultConfigIsTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.FlitBits != 64 || cfg.VCs != 4 || cfg.BufDepthFlits != 8 {
+		t.Errorf("router geometry %+v not Table II", cfg)
+	}
+	if cfg.ClockHz != 0.78125e9 {
+		t.Errorf("clock %v not 0.78125 GHz", cfg.ClockHz)
+	}
+	if cfg.LinkCapacityBps != 50e9 {
+		t.Errorf("link capacity %v not 50 Gb/s", cfg.LinkCapacityBps)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Table II config must validate: %v", err)
+	}
+}
+
+func TestConfigValidateRateMatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClockHz = 1e9 // 64 Gb/s != 50 Gb/s
+	if err := cfg.Validate(); err == nil {
+		t.Error("rate-mismatched config must be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.VCs = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero VCs must be rejected")
+	}
+}
+
+// TestBaseMeshCalibration pins the two anchor numbers the whole system-level
+// study hangs off: a 16×16 electronic mesh (256 five-port routers, 480
+// bidirectional = 960 unidirectional 1 mm links) must evaluate to ≈ 1.53 W
+// static power and ≈ 22.1 mm² area (paper Table IV and Fig. 8).
+func TestBaseMeshCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	r := ElectronicRouter(cfg, 5)
+	l := MustLink(cfg, tech.Electronic, 1*units.Millimetre)
+	static := 256*r.StaticW + 960*l.StaticW
+	area := 256*r.AreaM2 + 960*l.AreaM2
+	if !units.WithinFactor(static, 1.53, 1.02) {
+		t.Errorf("base mesh static = %v W, want 1.53 W ±2%%", static)
+	}
+	if !units.WithinFactor(area, 22.1*units.MillimetreSq, 1.02) {
+		t.Errorf("base mesh area = %v mm², want 22.1 ±2%%", area/units.MillimetreSq)
+	}
+}
+
+// TestTableIVPerLinkStatics pins the per-express-link static powers implied
+// by Table IV: photonic ≈ 9.66 mW/link (dominated by ring trimming), HyPPI
+// ≈ 94 µW/link, electronic ≈ 10 µW/mm — and, critically, that optical link
+// static power is essentially independent of link length on-chip.
+func TestTableIVPerLinkStatics(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, mm := range []float64{3, 5, 15} {
+		p := MustLink(cfg, tech.Photonic, mm*units.Millimetre)
+		if !units.WithinFactor(p.StaticW, 9.66e-3, 1.06) {
+			t.Errorf("photonic %v mm static = %v W, want ≈9.66 mW", mm, p.StaticW)
+		}
+		h := MustLink(cfg, tech.HyPPI, mm*units.Millimetre)
+		if !units.WithinFactor(h.StaticW, 94e-6, 1.30) {
+			t.Errorf("HyPPI %v mm static = %v W, want ≈94 µW", mm, h.StaticW)
+		}
+		e := MustLink(cfg, tech.Electronic, mm*units.Millimetre)
+		if !units.ApproxEqual(e.StaticW, mm*10e-6, 1e-6) {
+			t.Errorf("electronic %v mm static = %v W, want %v", mm, e.StaticW, mm*10e-6)
+		}
+	}
+	// Length independence of the optical statics (1 dB/cm is negligible
+	// over mm scales).
+	h3 := MustLink(cfg, tech.HyPPI, 3*units.Millimetre)
+	h15 := MustLink(cfg, tech.HyPPI, 15*units.Millimetre)
+	if !units.WithinFactor(h15.StaticW, h3.StaticW, 1.30) {
+		t.Errorf("HyPPI static should be ~length independent: %v vs %v", h3.StaticW, h15.StaticW)
+	}
+}
+
+// TestTableVDynamicShapes pins the Table V energy shapes: electronic link
+// energy grows linearly with length, optical per-flit energy is length
+// independent, photonic ≫ electronic ≳ HyPPI at the 3 mm express length.
+func TestTableVDynamicShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	e3 := MustLink(cfg, tech.Electronic, 3*units.Millimetre)
+	e15 := MustLink(cfg, tech.Electronic, 15*units.Millimetre)
+	if ratio := e15.DynamicJPerFlit / e3.DynamicJPerFlit; !units.WithinFactor(ratio, 5, 1.05) {
+		t.Errorf("electronic flit energy 15mm/3mm = %v, want ≈5 (linear in length)", ratio)
+	}
+	h3 := MustLink(cfg, tech.HyPPI, 3*units.Millimetre)
+	h15 := MustLink(cfg, tech.HyPPI, 15*units.Millimetre)
+	if !units.WithinFactor(h15.DynamicJPerFlit, h3.DynamicJPerFlit, 1.10) {
+		t.Errorf("HyPPI flit energy should be ~length independent: %v vs %v",
+			h3.DynamicJPerFlit, h15.DynamicJPerFlit)
+	}
+	// HyPPI express traversal costs about the same as a 3 mm electronic
+	// traversal (Table V: 0.0049 J vs 0.0054 J totals).
+	if !units.WithinFactor(h3.DynamicJPerFlit, e3.DynamicJPerFlit, 1.35) {
+		t.Errorf("HyPPI flit energy %v should be comparable to 3 mm electronic %v",
+			h3.DynamicJPerFlit, e3.DynamicJPerFlit)
+	}
+	// Photonic dominates by more than an order of magnitude (Table V:
+	// 0.935 J vs 0.005 J).
+	p3 := MustLink(cfg, tech.Photonic, 3*units.Millimetre)
+	if p3.DynamicJPerFlit < 10*h3.DynamicJPerFlit {
+		t.Errorf("photonic flit energy %v should dwarf HyPPI %v", p3.DynamicJPerFlit, h3.DynamicJPerFlit)
+	}
+	if p3.DynamicJPerFlit < 10*e3.DynamicJPerFlit {
+		t.Errorf("photonic flit energy %v should dwarf electronic %v", p3.DynamicJPerFlit, e3.DynamicJPerFlit)
+	}
+}
+
+func TestRouterScalesWithPorts(t *testing.T) {
+	cfg := DefaultConfig()
+	r5 := ElectronicRouter(cfg, 5)
+	r7 := ElectronicRouter(cfg, 7)
+	if r7.AreaM2 <= r5.AreaM2 || r7.StaticW <= r5.StaticW {
+		t.Error("7-port router must cost more than 5-port")
+	}
+	// Crossbar grows quadratically: expect roughly 2x area for 7 ports.
+	if ratio := r7.AreaM2 / r5.AreaM2; ratio < 1.3 || ratio > 2.5 {
+		t.Errorf("7/5 port area ratio = %v, want 1.3..2.5", ratio)
+	}
+	// But static power barely moves (clock-tree dominated, Table IV).
+	if ratio := r7.StaticW / r5.StaticW; ratio > 1.10 {
+		t.Errorf("7/5 port static ratio = %v, want ≤1.10", ratio)
+	}
+}
+
+func TestRouterDynamicIndependentOfPorts(t *testing.T) {
+	cfg := DefaultConfig()
+	if ElectronicRouter(cfg, 5).DynamicJPerFlit != ElectronicRouter(cfg, 7).DynamicJPerFlit {
+		t.Error("per-flit router energy is buffer+crossbar traversal; should not change with idle ports")
+	}
+}
+
+func TestPhotonicNeedsTwoWavelengths(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustLink(cfg, tech.Photonic, 1*units.Millimetre)
+	if p.Wavelengths != 2 {
+		t.Errorf("photonic 50 Gb/s link needs 2 λ at 25 Gb/s modulators, got %d", p.Wavelengths)
+	}
+	h := MustLink(cfg, tech.HyPPI, 1*units.Millimetre)
+	if h.Wavelengths != 1 {
+		t.Errorf("HyPPI is single wavelength, got %d", h.Wavelengths)
+	}
+	if p.TuningW <= 0 {
+		t.Error("photonic links must pay ring trimming power")
+	}
+	if h.TuningW != 0 {
+		t.Error("HyPPI MOS modulators are not resonant; no trimming power")
+	}
+}
+
+func TestSERDESCapsCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	h := MustLink(cfg, tech.HyPPI, 1*units.Millimetre)
+	if h.CapacityBps != 50e9 {
+		t.Errorf("HyPPI system capacity = %v, want 50 Gb/s (SERDES cap, not the 2.1 Tb/s device)", h.CapacityBps)
+	}
+}
+
+func TestLinkLatencies(t *testing.T) {
+	cfg := DefaultConfig()
+	if MustLink(cfg, tech.Electronic, units.Millimetre).LatencyClks != 1 {
+		t.Error("electronic link is 1 clk")
+	}
+	for _, tc := range []tech.Technology{tech.Photonic, tech.HyPPI} {
+		if MustLink(cfg, tc, units.Millimetre).LatencyClks != 2 {
+			t.Errorf("%v link is 2 clks", tc)
+		}
+	}
+}
+
+func TestLinkAreaOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	e := MustLink(cfg, tech.Electronic, units.Millimetre)
+	h := MustLink(cfg, tech.HyPPI, units.Millimetre)
+	p := MustLink(cfg, tech.Photonic, units.Millimetre)
+	if h.AreaM2 >= e.AreaM2 {
+		t.Errorf("1 mm HyPPI link %v must be smaller than electronic %v", h.AreaM2, e.AreaM2)
+	}
+	if p.AreaM2 <= h.AreaM2 {
+		t.Errorf("1 mm photonic link %v must be larger than HyPPI %v (rings + laser)", p.AreaM2, h.AreaM2)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Link(cfg, tech.Electronic, 0); err == nil {
+		t.Error("zero length must fail")
+	}
+	if _, err := Link(cfg, tech.Technology(42), units.Millimetre); err == nil {
+		t.Error("unknown tech must fail")
+	}
+	bad := cfg
+	bad.FlitBits = 0
+	if _, err := Link(bad, tech.Electronic, units.Millimetre); err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+func TestElectronicRouterPanicsOnBadPorts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 ports")
+		}
+	}()
+	ElectronicRouter(DefaultConfig(), 0)
+}
+
+// TestLinkCostMonotoneProperty: for every technology, static power, dynamic
+// energy and area are non-decreasing in link length.
+func TestLinkCostMonotoneProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(rawA, rawB float64) bool {
+		a := 0.1 + math.Mod(math.Abs(rawA), 19.9) // 0.1..20 mm
+		b := 0.1 + math.Mod(math.Abs(rawB), 19.9)
+		if a > b {
+			a, b = b, a
+		}
+		for _, tc := range []tech.Technology{tech.Electronic, tech.Photonic, tech.HyPPI} {
+			la := MustLink(cfg, tc, a*units.Millimetre)
+			lb := MustLink(cfg, tc, b*units.Millimetre)
+			if lb.StaticW < la.StaticW || lb.DynamicJPerFlit < la.DynamicJPerFlit || lb.AreaM2 < la.AreaM2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlasmonicSystemLinkIsHopeless: over a 1 mm NoC hop the plasmonic
+// waveguide eats 44 dB, so its laser power must be orders of magnitude above
+// HyPPI's — the paper drops plasmonics from network-level exploration.
+func TestPlasmonicSystemLinkIsHopeless(t *testing.T) {
+	cfg := DefaultConfig()
+	s := MustLink(cfg, tech.Plasmonic, units.Millimetre)
+	h := MustLink(cfg, tech.HyPPI, units.Millimetre)
+	if s.LaserW < 1000*h.LaserW {
+		t.Errorf("plasmonic 1 mm laser %v W should be ≥1000× HyPPI %v W", s.LaserW, h.LaserW)
+	}
+}

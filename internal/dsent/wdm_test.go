@@ -1,0 +1,71 @@
+package dsent
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+// TestWDMAblation reproduces the paper's wavelength-count argument: adding
+// rings beyond the minimum buys no usable capacity (the SERDES caps the
+// rate) but adds thermal trimming power and area — which is why the paper
+// stops photonics at 2 λ.
+func TestWDMAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	base, err := LinkWDM(cfg, tech.Photonic, units.Millimetre, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Wavelengths != 2 {
+		t.Fatalf("auto wavelength count = %d, want 2", base.Wavelengths)
+	}
+	prev := base
+	for _, l := range []int{3, 4, 8} {
+		lc, err := LinkWDM(cfg, tech.Photonic, units.Millimetre, l)
+		if err != nil {
+			t.Fatalf("λ=%d: %v", l, err)
+		}
+		if lc.CapacityBps != base.CapacityBps {
+			t.Errorf("λ=%d: capacity %v changed despite SERDES cap", l, lc.CapacityBps)
+		}
+		if lc.StaticW <= prev.StaticW {
+			t.Errorf("λ=%d: static %v should grow with ring count (prev %v)", l, lc.StaticW, prev.StaticW)
+		}
+		if lc.TuningW <= prev.TuningW {
+			t.Errorf("λ=%d: trimming %v should grow with ring count", l, lc.TuningW)
+		}
+		if lc.AreaM2 <= prev.AreaM2 {
+			t.Errorf("λ=%d: area %v should grow with ring count", l, lc.AreaM2)
+		}
+		prev = lc
+	}
+}
+
+// TestWDMUndersizedRejected: too few wavelengths for the capacity is an
+// error, not a silent downgrade.
+func TestWDMUndersizedRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := LinkWDM(cfg, tech.Photonic, units.Millimetre, 1); err == nil {
+		t.Error("1 λ × 25 Gb/s cannot carry 50 Gb/s; must fail")
+	}
+	if _, err := LinkWDM(cfg, tech.Photonic, units.Millimetre, -1); err == nil {
+		t.Error("negative λ must fail")
+	}
+	if _, err := LinkWDM(cfg, tech.Electronic, units.Millimetre, 2); err == nil {
+		t.Error("wavelengths on electronic link must fail")
+	}
+}
+
+// TestWDMHyPPISingleLambdaSufficient: HyPPI's 50 Gb/s modulator needs no
+// WDM, one of its headline simplicity advantages.
+func TestWDMHyPPISingleLambdaSufficient(t *testing.T) {
+	cfg := DefaultConfig()
+	lc, err := LinkWDM(cfg, tech.HyPPI, units.Millimetre, 1)
+	if err != nil {
+		t.Fatalf("HyPPI 1 λ should suffice: %v", err)
+	}
+	if lc.CapacityBps != 50e9 {
+		t.Errorf("capacity %v", lc.CapacityBps)
+	}
+}

@@ -1,0 +1,272 @@
+// Package link models bare point-to-point interconnect links for the four
+// technology options (Electronic, Photonic, Plasmonic, HyPPI) and computes
+// the link-level CLEAR figure of merit of the paper's Section III-A:
+//
+//	CLEAR(link) = Capability / (Latency × Energy × Area)        (eq. 1)
+//
+// Capability is the link data rate, and the three cost terms are the
+// point-to-point latency, the energy per bit (including the laser sized from
+// the optical loss budget for optical links), and the on-chip area.
+//
+// These are *bare* link models: optical links run at the Table I device
+// rates (2.1 Tb/s for the HyPPI modulator), without the 50 Gb/s SERDES cap
+// applied at the NoC system level — that cap lives in the dsent package, as
+// in the paper.
+package link
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+// speedOfLight in m/s.
+const speedOfLight = 299792458.0
+
+// convLatencyS is the fixed E-O + O-E conversion latency of an optical link:
+// modulator driver, photodetector, TIA and clock recovery. The paper's
+// system model charges one full clock cycle for this; at the bare link level
+// we use a 100 ps electronic conversion chain, a mid-range figure for the
+// 11-14 nm nodes considered.
+const convLatencyS = 100e-12
+
+// referenceRateBps is the data rate at which tech.OpticalParams.
+// DetectorSensitivityW is specified; required receive power scales linearly
+// with the data rate (shot/thermal-noise-limited receiver).
+const referenceRateBps = 10e9
+
+// Metrics is the result of evaluating one link at one length.
+type Metrics struct {
+	// DataRateBps is the link capability C.
+	DataRateBps float64
+	// LatencyS is the end-to-end point-to-point latency.
+	LatencyS float64
+	// EnergyPerBitJ is the total energy per bit including static laser
+	// power amortized over the data rate.
+	EnergyPerBitJ float64
+	// AreaM2 is the on-chip footprint: active devices plus waveguide or
+	// wire track area.
+	AreaM2 float64
+	// LaserPowerW is the wall-plug laser power (0 for electronic links).
+	LaserPowerW float64
+	// PathLossDB is the total optical loss budget (0 for electronic).
+	PathLossDB float64
+}
+
+// CLEAR evaluates eq. 1 in the paper's plotting units — Gb/s for capability,
+// ps for latency, fJ/bit for energy, µm² for area. The paper notes the units
+// only need to be consistent since the metric is used relatively.
+func (m Metrics) CLEAR() float64 {
+	c := m.DataRateBps / units.Giga
+	l := m.LatencyS / units.Pico
+	e := m.EnergyPerBitJ / units.Femto
+	a := m.AreaM2 / units.MicrometreSq
+	den := l * e * a
+	if den <= 0 {
+		return 0
+	}
+	return c / den
+}
+
+// Model evaluates one technology's link at arbitrary lengths.
+type Model interface {
+	Tech() tech.Technology
+	// Eval returns the link metrics for a link of the given length in
+	// metres. Length must be positive.
+	Eval(lengthM float64) Metrics
+}
+
+// NewModel returns the bare link model for a technology, using the Table I /
+// ITRS catalogue parameters.
+func NewModel(t tech.Technology) (Model, error) {
+	switch t {
+	case tech.Electronic:
+		p := tech.ElectronicITRS14()
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return &electronicModel{p: p}, nil
+	case tech.Photonic, tech.Plasmonic, tech.HyPPI:
+		p, err := tech.Optical(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return &opticalModel{p: p}, nil
+	}
+	return nil, fmt.Errorf("link: unknown technology %v", t)
+}
+
+// MustModel is NewModel that panics on error; for use with the catalogue
+// technologies, whose parameters are statically valid.
+func MustModel(t tech.Technology) Model {
+	m, err := NewModel(t)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type electronicModel struct {
+	p tech.ElectronicParams
+}
+
+func (m *electronicModel) Tech() tech.Technology { return tech.Electronic }
+
+func (m *electronicModel) Eval(lengthM float64) Metrics {
+	mm := lengthM / units.Millimetre
+	rate := m.p.PerWireRateGbps * units.Giga
+	// Dynamic switching energy grows linearly with wire length
+	// (repeated-wire regime) plus a fixed driver/receiver term; repeater
+	// leakage is amortized over the bit rate.
+	dynamicJ := (m.p.FixedEnergyFJPerBit + m.p.EnergyFJPerBitPerMM*mm) * units.Femto
+	leakW := m.p.StaticPowerUWPerMM * mm * units.Micro
+	energy := dynamicJ + leakW/rate
+	latency := (m.p.FixedDelayPS + m.p.DelayPSPerMM*mm) * units.Pico
+	pitch := (m.p.WireWidthUM + m.p.WireSpacingUM) * units.Micrometre
+	area := pitch*lengthM + m.p.RepeaterAreaUM2PerMM*mm*units.MicrometreSq
+	return Metrics{
+		DataRateBps:   rate,
+		LatencyS:      latency,
+		EnergyPerBitJ: energy,
+		AreaM2:        area,
+	}
+}
+
+type opticalModel struct {
+	p tech.OpticalParams
+}
+
+func (m *opticalModel) Tech() tech.Technology { return m.p.Tech }
+
+// PathLossDB returns the optical loss budget of a link of the given length:
+// modulator insertion loss, waveguide coupling loss, and propagation loss.
+func (m *opticalModel) PathLossDB(lengthM float64) float64 {
+	cm := lengthM / units.Centimetre
+	return m.p.Modulator.InsertionLossDB +
+		m.p.Waveguide.CouplingLossDB +
+		m.p.Waveguide.PropagationLossDBPerCM*cm
+}
+
+// ExtinctionPenalty converts a finite modulator extinction ratio into the
+// standard optical power penalty (ER+1)/(ER-1) in linear units: with an
+// imperfect "off" level more average power is needed for the same eye
+// opening.
+func ExtinctionPenalty(erDB float64) float64 {
+	er := units.DBToLinear(erDB)
+	if er <= 1 {
+		return math.Inf(1)
+	}
+	return (er + 1) / (er - 1)
+}
+
+// LaserPowerW sizes the wall-plug laser power for a link of the given length
+// at the given data rate: the receiver needs its sensitivity power (scaled
+// linearly with rate), grossed up by the path loss, the extinction-ratio
+// penalty, and the laser wall-plug efficiency.
+func (m *opticalModel) LaserPowerW(lengthM, rateBps float64) float64 {
+	sens := m.p.DetectorSensitivityW * rateBps / referenceRateBps
+	lossLin := 1 / units.TransmissionFromLossDB(m.PathLossDB(lengthM))
+	penalty := ExtinctionPenalty(m.p.Modulator.ExtinctionRatioDB)
+	eff := m.p.Laser.EfficiencyPct / 100
+	return sens * lossLin * penalty / eff
+}
+
+func (m *opticalModel) Eval(lengthM float64) Metrics {
+	rate := m.p.Modulator.BareSpeedGbps * units.Giga
+	laserW := m.LaserPowerW(lengthM, rate)
+	energy := (m.p.Modulator.EnergyFJPerBit+m.p.Detector.EnergyFJPerBit)*units.Femto +
+		laserW/rate
+	prop := lengthM * m.p.Waveguide.GroupIndex / speedOfLight
+	latency := convLatencyS + prop
+	area := (m.p.Laser.AreaUM2+m.p.Modulator.AreaUM2+m.p.Detector.AreaUM2)*units.MicrometreSq +
+		m.p.Waveguide.PitchUM*units.Micrometre*lengthM
+	return Metrics{
+		DataRateBps:   rate,
+		LatencyS:      latency,
+		EnergyPerBitJ: energy,
+		AreaM2:        area,
+		LaserPowerW:   laserW,
+		PathLossDB:    m.PathLossDB(lengthM),
+	}
+}
+
+// SweepPoint is one length sample of the Fig. 3 curves.
+type SweepPoint struct {
+	LengthM float64
+	// CLEAR maps technology -> CLEAR value at this length.
+	CLEAR map[tech.Technology]float64
+	// Metrics maps technology -> full link metrics at this length.
+	Metrics map[tech.Technology]Metrics
+}
+
+// Best returns the technology with the highest CLEAR at this point.
+func (s SweepPoint) Best() tech.Technology {
+	best := tech.Electronic
+	bv := math.Inf(-1)
+	for _, t := range tech.Technologies {
+		if v, ok := s.CLEAR[t]; ok && v > bv {
+			bv = v
+			best = t
+		}
+	}
+	return best
+}
+
+// Sweep evaluates all four technologies across the given lengths (metres),
+// producing the data behind Fig. 3.
+func Sweep(lengths []float64) ([]SweepPoint, error) {
+	models := make([]Model, 0, len(tech.Technologies))
+	for _, t := range tech.Technologies {
+		m, err := NewModel(t)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	pts := make([]SweepPoint, 0, len(lengths))
+	for _, L := range lengths {
+		if L <= 0 {
+			return nil, fmt.Errorf("link: non-positive length %v", L)
+		}
+		p := SweepPoint{
+			LengthM: L,
+			CLEAR:   make(map[tech.Technology]float64, len(models)),
+			Metrics: make(map[tech.Technology]Metrics, len(models)),
+		}
+		for _, m := range models {
+			met := m.Eval(L)
+			p.Metrics[m.Tech()] = met
+			p.CLEAR[m.Tech()] = met.CLEAR()
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// Fig3Lengths returns the default logarithmic length grid used for the
+// Fig. 3 reproduction: 1 µm to 10 cm.
+func Fig3Lengths() []float64 {
+	return LogSpace(1*units.Micrometre, 10*units.Centimetre, 51)
+}
+
+// LogSpace returns n logarithmically spaced samples over [lo, hi]; lo and hi
+// must be positive and n >= 2.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("link: bad LogSpace(%v, %v, %d)", lo, hi, n))
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = math.Exp(llo + f*(lhi-llo))
+	}
+	// Pin the endpoints exactly despite float rounding.
+	out[0], out[n-1] = lo, hi
+	return out
+}

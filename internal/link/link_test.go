@@ -1,0 +1,274 @@
+package link
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func evalAt(t *testing.T, tc tech.Technology, lengthM float64) Metrics {
+	t.Helper()
+	m, err := NewModel(tc)
+	if err != nil {
+		t.Fatalf("NewModel(%v): %v", tc, err)
+	}
+	return m.Eval(lengthM)
+}
+
+func TestAllModelsPositiveMetrics(t *testing.T) {
+	for _, tc := range tech.Technologies {
+		for _, L := range []float64{1 * units.Micrometre, 1 * units.Millimetre, 1 * units.Centimetre} {
+			m := evalAt(t, tc, L)
+			if m.DataRateBps <= 0 || m.LatencyS <= 0 || m.EnergyPerBitJ <= 0 || m.AreaM2 <= 0 {
+				t.Errorf("%v at %v m: non-positive metric %+v", tc, L, m)
+			}
+			if m.CLEAR() <= 0 {
+				t.Errorf("%v at %v m: CLEAR must be positive", tc, L)
+			}
+		}
+	}
+}
+
+// TestFig3ShortRangeElectronicWins pins the left side of Fig. 3: electronics
+// is the best technology for very short interconnects (logic level and
+// intra-processor distances).
+func TestFig3ShortRangeElectronicWins(t *testing.T) {
+	pts, err := Sweep([]float64{1 * units.Micrometre, 10 * units.Micrometre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if best := p.Best(); best != tech.Electronic {
+			t.Errorf("at %.0f µm best = %v, want Electronic (CLEAR %v)",
+				p.LengthM/units.Micrometre, best, p.CLEAR)
+		}
+	}
+}
+
+// TestFig3InterCoreHyPPIWins pins the middle of Fig. 3: at inter-core
+// distances (≈ 1 mm and beyond, up to chip scale) HyPPI has the highest
+// CLEAR.
+func TestFig3InterCoreHyPPIWins(t *testing.T) {
+	pts, err := Sweep([]float64{1 * units.Millimetre, 5 * units.Millimetre, 10 * units.Millimetre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if best := p.Best(); best != tech.HyPPI {
+			t.Errorf("at %.1f mm best = %v, want HyPPI (CLEAR %v)",
+				p.LengthM/units.Millimetre, best, p.CLEAR)
+		}
+	}
+}
+
+// TestFig3PhotonicBeatsElectronicBeyond20mm pins the paper's remark that
+// photonics becomes suitable for lengths beyond 20 mm.
+func TestFig3PhotonicBeatsElectronicBeyond20mm(t *testing.T) {
+	for _, L := range []float64{20 * units.Millimetre, 50 * units.Millimetre, 100 * units.Millimetre} {
+		pm := evalAt(t, tech.Photonic, L).CLEAR()
+		em := evalAt(t, tech.Electronic, L).CLEAR()
+		if pm <= em {
+			t.Errorf("at %.0f mm photonic CLEAR %v <= electronic %v", L/units.Millimetre, pm, em)
+		}
+	}
+}
+
+// TestFig3PlasmonicOhmicCollapse pins the paper's observation that pure
+// plasmonics is restricted to a few microns by ohmic loss: its CLEAR falls
+// by orders of magnitude between 10 µm and 1 mm, and its laser power
+// explodes.
+func TestFig3PlasmonicOhmicCollapse(t *testing.T) {
+	short := evalAt(t, tech.Plasmonic, 10*units.Micrometre)
+	long := evalAt(t, tech.Plasmonic, 1*units.Millimetre)
+	if ratio := long.CLEAR() / short.CLEAR(); ratio > 1e-3 {
+		t.Errorf("plasmonic CLEAR should collapse >1000x from 10 µm to 1 mm, got ratio %v", ratio)
+	}
+	if long.LaserPowerW < 100*short.LaserPowerW {
+		t.Errorf("plasmonic laser power should explode with distance: %v W vs %v W",
+			long.LaserPowerW, short.LaserPowerW)
+	}
+	// 440 dB/cm over 1 mm is 44 dB of propagation loss alone.
+	if long.PathLossDB < 44 {
+		t.Errorf("plasmonic path loss at 1 mm = %v dB, want >= 44", long.PathLossDB)
+	}
+}
+
+// TestHyPPIDominatesPhotonicOnChip: with the same waveguide loss but a far
+// faster, smaller modulator, HyPPI should out-CLEAR conventional photonics
+// at every on-chip length.
+func TestHyPPIDominatesPhotonicOnChip(t *testing.T) {
+	for _, L := range Fig3Lengths() {
+		h := evalAt(t, tech.HyPPI, L).CLEAR()
+		p := evalAt(t, tech.Photonic, L).CLEAR()
+		if h <= p {
+			t.Errorf("at %v m HyPPI CLEAR %v <= photonic %v", L, h, p)
+		}
+	}
+}
+
+func TestElectronicEnergyGrowsLinearly(t *testing.T) {
+	e1 := evalAt(t, tech.Electronic, 1*units.Millimetre).EnergyPerBitJ
+	e10 := evalAt(t, tech.Electronic, 10*units.Millimetre).EnergyPerBitJ
+	// Fixed costs make the ratio slightly under 10.
+	if ratio := e10 / e1; ratio < 8 || ratio > 10 {
+		t.Errorf("electronic energy 10 mm / 1 mm = %v, want ~10 (linear wire energy)", ratio)
+	}
+}
+
+func TestOpticalEnergyNearlyFlatOnChip(t *testing.T) {
+	// At 1 dB/cm, HyPPI energy/bit grows only ~26% over 1 mm -> 10 mm.
+	e1 := evalAt(t, tech.HyPPI, 1*units.Millimetre).EnergyPerBitJ
+	e10 := evalAt(t, tech.HyPPI, 10*units.Millimetre).EnergyPerBitJ
+	if ratio := e10 / e1; ratio > 1.5 {
+		t.Errorf("HyPPI energy should be nearly distance-independent on-chip, ratio %v", ratio)
+	}
+}
+
+func TestExtinctionPenalty(t *testing.T) {
+	// Infinite ER -> penalty 1; equal on/off (0 dB) -> infinite penalty.
+	if p := ExtinctionPenalty(60); p > 1.01 {
+		t.Errorf("60 dB ER penalty = %v, want ~1", p)
+	}
+	if p := ExtinctionPenalty(0); !math.IsInf(p, 1) {
+		t.Errorf("0 dB ER penalty = %v, want +Inf", p)
+	}
+	// 10 dB ER: (10+1)/(10-1) = 1.222...
+	if p := ExtinctionPenalty(10); !units.ApproxEqual(p, 11.0/9.0, 1e-9) {
+		t.Errorf("10 dB ER penalty = %v, want 11/9", p)
+	}
+	// Penalty decreases with ER.
+	if ExtinctionPenalty(6.18) <= ExtinctionPenalty(12) {
+		t.Error("lower extinction ratio must cost a higher penalty")
+	}
+}
+
+func TestLaserPowerScalesWithRate(t *testing.T) {
+	m, err := NewModel(tech.HyPPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := m.(*opticalModel)
+	p1 := om.LaserPowerW(1*units.Millimetre, 10e9)
+	p2 := om.LaserPowerW(1*units.Millimetre, 20e9)
+	if !units.ApproxEqual(p2, 2*p1, 1e-9) {
+		t.Errorf("laser power should scale linearly with rate: %v vs %v", p1, p2)
+	}
+}
+
+func TestCLEARUnits(t *testing.T) {
+	// 50 Gb/s, 100 ps, 10 fJ/bit, 1000 µm² -> CLEAR = 50/(100*10*1000) = 5e-5.
+	m := Metrics{
+		DataRateBps:   50e9,
+		LatencyS:      100e-12,
+		EnergyPerBitJ: 10e-15,
+		AreaM2:        1000 * units.MicrometreSq,
+	}
+	if got := m.CLEAR(); !units.ApproxEqual(got, 5e-5, 1e-9) {
+		t.Errorf("CLEAR = %v, want 5e-5", got)
+	}
+	if (Metrics{}).CLEAR() != 0 {
+		t.Error("zero metrics must give zero CLEAR, not NaN")
+	}
+}
+
+// TestCLEARMonotoneInLengthProperty: for every technology, CLEAR never
+// improves as the link gets longer (all three cost terms are non-decreasing
+// in length and capability is constant).
+func TestCLEARMonotoneInLengthProperty(t *testing.T) {
+	models := map[tech.Technology]Model{}
+	for _, tc := range tech.Technologies {
+		models[tc] = MustModel(tc)
+	}
+	f := func(rawA, rawB float64) bool {
+		// Map arbitrary floats into [1 µm, 10 cm].
+		a := 1e-6 + math.Mod(math.Abs(rawA), 0.1-1e-6)
+		b := 1e-6 + math.Mod(math.Abs(rawB), 0.1-1e-6)
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range models {
+			if m.Eval(a).CLEAR() < m.Eval(b).CLEAR() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepRejectsBadLength(t *testing.T) {
+	if _, err := Sweep([]float64{0}); err == nil {
+		t.Error("zero length should be rejected")
+	}
+	if _, err := Sweep([]float64{-1}); err == nil {
+		t.Error("negative length should be rejected")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	got := LogSpace(1e-6, 1e-1, 6)
+	if len(got) != 6 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0] != 1e-6 || got[5] != 1e-1 {
+		t.Errorf("endpoints %v, %v", got[0], got[5])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("not increasing at %d: %v <= %v", i, got[i], got[i-1])
+		}
+		ratio := got[i] / got[i-1]
+		if !units.ApproxEqual(ratio, 10, 1e-6) {
+			t.Errorf("log spacing broken: ratio %v", ratio)
+		}
+	}
+}
+
+func TestLogSpacePanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		n      int
+	}{
+		{1, 2, 1}, {0, 1, 5}, {2, 1, 5}, {-1, 1, 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogSpace(%v,%v,%d) should panic", c.lo, c.hi, c.n)
+				}
+			}()
+			LogSpace(c.lo, c.hi, c.n)
+		}()
+	}
+}
+
+func TestFig3LengthsGrid(t *testing.T) {
+	ls := Fig3Lengths()
+	if len(ls) != 51 {
+		t.Fatalf("grid size %d", len(ls))
+	}
+	if ls[0] != 1*units.Micrometre || ls[len(ls)-1] != 10*units.Centimetre {
+		t.Errorf("grid endpoints %v .. %v", ls[0], ls[len(ls)-1])
+	}
+}
+
+func TestMustModelPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustModel(unknown) should panic")
+		}
+	}()
+	MustModel(tech.Technology(42))
+}
+
+func TestHyPPIBareRateIsTableI(t *testing.T) {
+	m := evalAt(t, tech.HyPPI, 1*units.Millimetre)
+	if m.DataRateBps != 2100e9 {
+		t.Errorf("HyPPI bare rate = %v, want 2.1 Tb/s", m.DataRateBps)
+	}
+}

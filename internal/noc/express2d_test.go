@@ -1,0 +1,140 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func mesh2D(t testing.TB, hops int) (*topology.Network, *routing.Table) {
+	t.Helper()
+	c := topology.DefaultConfig()
+	c.ExpressHops = hops
+	c.ExpressTech = tech.HyPPI
+	c.ExpressBothDims = true
+	net, err := topology.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, routing.MustBuild(net, routing.MonotoneExpress)
+}
+
+// TestExpress2DZeroLoadLatency: vertical express now shortens column
+// routes exactly like horizontal express shortens row routes.
+func TestExpress2DZeroLoadLatency(t *testing.T) {
+	net, tab := mesh2D(t, 3)
+	s, err := New(net, tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,0) -> (0,12): 4 vertical express hops at 5 clks + eject 3 = 23.
+	s.Inject(Packet{Src: net.Node(0, 0), Dst: net.Node(0, 12), SizeFlits: 1, Release: 0})
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvgPacketLatencyClks != 23 {
+		t.Errorf("column express latency %v, want 23", st.AvgPacketLatencyClks)
+	}
+}
+
+// TestExpress2DTorusHeavyLoadNoDeadlock: hops=15 in both dimensions means
+// datelines in X and Y; random all-to-all load must still drain (dateline
+// VC classes per dimension with reset at the X→Y transition).
+func TestExpress2DTorusHeavyLoadNoDeadlock(t *testing.T) {
+	net, tab := mesh2D(t, 15)
+	s, err := New(net, tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	const horizon = 2500
+	for node := 0; node < net.NumNodes(); node++ {
+		for cyc := 0; cyc < horizon; cyc++ {
+			if rng.Float64() < 0.1/4.0 {
+				size := 1
+				if rng.Intn(3) == 0 {
+					size = 16
+				}
+				s.Inject(Packet{
+					Src:       topology.NodeID(node),
+					Dst:       topology.NodeID(rng.Intn(net.NumNodes())),
+					SizeFlits: size,
+					Release:   int64(cyc),
+				})
+			}
+		}
+	}
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PacketsEjected != st.PacketsInjected {
+		t.Errorf("lost packets: %d of %d", st.PacketsEjected, st.PacketsInjected)
+	}
+}
+
+// TestExpress2DWrapBothDims: a corner-to-corner route on the double-torus
+// uses both wrap links: (0,0)→(15,15) is 1 X-wrap + 1 Y-wrap = 2 optical
+// hops: 2×(3+2)+3 = 13 clks.
+func TestExpress2DWrapBothDims(t *testing.T) {
+	net, tab := mesh2D(t, 15)
+	s, err := New(net, tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Inject(Packet{Src: net.Node(0, 0), Dst: net.Node(15, 15), SizeFlits: 1, Release: 0})
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvgPacketLatencyClks != 13 {
+		t.Errorf("double-wrap latency %v, want 13", st.AvgPacketLatencyClks)
+	}
+	if st.AvgHopCount != 2 {
+		t.Errorf("double-wrap hops %v, want 2", st.AvgHopCount)
+	}
+}
+
+// TestExpress2DColumnTrafficSpeedup: end-to-end column traffic benefits
+// from vertical express exactly as row traffic does from horizontal.
+func TestExpress2DColumnTrafficSpeedup(t *testing.T) {
+	run := func(bothDims bool) float64 {
+		c := topology.DefaultConfig()
+		c.ExpressHops = 5
+		c.ExpressTech = tech.HyPPI
+		c.ExpressBothDims = bothDims
+		net := topology.MustBuild(c)
+		tab := routing.MustBuild(net, routing.MonotoneExpress)
+		s, err := New(net, tab, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 300; i++ {
+			x := rng.Intn(16)
+			s.Inject(Packet{
+				Src:       net.Node(x, 0),
+				Dst:       net.Node(x, 15),
+				SizeFlits: 1,
+				Release:   int64(rng.Intn(3000)),
+			})
+		}
+		st, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.AvgPacketLatencyClks
+	}
+	oneD := run(false)
+	twoD := run(true)
+	if twoD >= oneD {
+		t.Errorf("2-D express column latency %v should beat 1-D %v", twoD, oneD)
+	}
+	if oneD/twoD < 1.5 {
+		t.Errorf("column traffic should gain clearly: %v vs %v", oneD, twoD)
+	}
+}

@@ -1,0 +1,730 @@
+// Package noc is a cycle-accurate network-on-chip simulator equivalent in
+// role to BookSim 2.0 (Jiang et al., ISPASS 2013), which the paper uses in
+// trace mode for its NAS-benchmark latency results.
+//
+// The microarchitecture follows the paper's Table II:
+//
+//   - input-queued virtual-channel routers, 4 VCs × 8-flit buffers per port
+//   - a 3-stage router pipeline (route computation / VC allocation, switch
+//     allocation, switch traversal)
+//   - credit-based flow control between routers
+//   - separable round-robin allocators (input-first for switch allocation)
+//   - table-based oblivious routing (the routing package's tables)
+//   - channel latency of 1 clock for electronic links and 2 clocks for
+//     optical links (the extra cycle is the receiver's O-E conversion)
+//   - one local injection and one ejection port per router; ejection is an
+//     ideal sink
+//
+// The simulator is synchronous and strictly deterministic: all state is
+// iterated in index order and every arbiter is round-robin, so identical
+// inputs give bit-identical results.
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Config sizes the router microarchitecture.
+type Config struct {
+	// VCs is virtual channels per port (Table II: 4).
+	VCs int
+	// BufDepthFlits is the flit capacity of each VC buffer (Table II: 8).
+	BufDepthFlits int
+	// PipelineClks is the router pipeline depth (Table II: 3).
+	PipelineClks int
+	// MaxCycles aborts a run that fails to drain (0 = default cap).
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Table II router configuration.
+func DefaultConfig() Config {
+	return Config{VCs: 4, BufDepthFlits: 8, PipelineClks: 3}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.VCs <= 0 || c.BufDepthFlits <= 0 || c.PipelineClks <= 0 {
+		return fmt.Errorf("noc: non-positive config %+v", c)
+	}
+	return nil
+}
+
+// Packet is one network packet to inject.
+type Packet struct {
+	// Src and Dst are the endpoint nodes.
+	Src, Dst topology.NodeID
+	// SizeFlits is the packet length (the paper uses 1 and 32).
+	SizeFlits int
+	// Release is the cycle at which the packet becomes ready at the
+	// source queue.
+	Release int64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Cycles is the cycle count at drain.
+	Cycles int64
+	// PacketsInjected and PacketsEjected count whole packets.
+	PacketsInjected, PacketsEjected int64
+	// FlitsInjected and FlitsEjected count flits.
+	FlitsInjected, FlitsEjected int64
+	// AvgPacketLatencyClks averages (tail ejection − release) over
+	// packets, BookSim's packet latency.
+	AvgPacketLatencyClks float64
+	// MaxPacketLatencyClks is the worst packet latency.
+	MaxPacketLatencyClks int64
+	// AvgHopCount averages channel traversals per packet.
+	AvgHopCount float64
+	// P50, P95 and P99 are packet latency percentiles in clocks.
+	P50PacketLatencyClks, P95PacketLatencyClks, P99PacketLatencyClks float64
+	// LinkFlits[l] counts flit traversals of channel l — the input to
+	// dynamic energy accounting.
+	LinkFlits []int64
+	// RouterFlits[r] counts flits traversing each router (buffer write +
+	// crossbar pass), including injection and ejection.
+	RouterFlits []int64
+}
+
+// flit is the unit of flow control.
+type flit struct {
+	pkt  int32 // index into Sim.pkts
+	seq  int32 // flit index within packet
+	vc   int8  // VC assigned for the current hop
+	cls  int8  // dateline VC class (0 before wrap, 1 after)
+	head bool
+	tail bool
+}
+
+// bufEntry is a buffered flit plus the cycle it becomes eligible for switch
+// allocation (modelling the first two pipeline stages).
+type bufEntry struct {
+	f     flit
+	ready int64
+}
+
+// vcState is one input virtual channel.
+type vcState struct {
+	q []bufEntry
+	// routed marks that the head packet has a computed output.
+	routed bool
+	// outPort is the routed output port index (0 = ejection).
+	outPort int16
+	// outVC is the allocated downstream VC (-1 = none yet).
+	outVC int8
+	// outCls is the VC class required downstream: the head flit's class,
+	// incremented when the routed channel is a dateline (row wrap).
+	outCls int8
+	// writer is the packet currently being written into this VC at the
+	// injection port (-1 = none); prevents interleaving on write.
+	writer int32
+}
+
+// outState is one output port.
+type outState struct {
+	// link is the channel this output drives (-1 for ejection).
+	link topology.LinkID
+	// credits[v] is remaining buffer space at the downstream VC v.
+	credits []int16
+	// owner[v] is the input VC (packed port*VCs+vc) owning output VC v,
+	// -1 when free.
+	owner []int32
+	// saPtr is the output-side round-robin pointer over input ports.
+	saPtr int
+	// vaPtr is the VC-allocation round-robin pointer over requesters.
+	vaPtr int
+	// classed marks channels under dateline VC partitioning: only the
+	// X channels of wrapped rows can form ring cycles, so only they are
+	// partitioned; Y channels and ejection stay unrestricted.
+	classed bool
+}
+
+// router is one node's switch.
+type router struct {
+	id topology.NodeID
+	// in[p][v]: input VC v of port p; port 0 is injection.
+	in [][]vcState
+	// out[p]: output port p; port 0 is ejection.
+	out []outState
+	// inSAPtr is the per-input-port round-robin pointer over VCs.
+	inSAPtr []int
+	// inIsX[p] marks input ports fed by horizontal channels; used to
+	// reset the dateline class at the X→Y dimension transition so one
+	// class bit suffices for both dimensions' rings.
+	inIsX []bool
+	// outIsY[p] marks output ports driving vertical channels.
+	outIsY []bool
+}
+
+// linkPipe carries in-flight flits over one channel.
+type linkPipe struct {
+	q []linkEntry
+}
+
+type linkEntry struct {
+	f      flit
+	arrive int64
+}
+
+// pktMeta is per-packet runtime accounting.
+type pktMeta struct {
+	Packet
+	flitsEjected int32
+	hops         int32
+	done         bool
+}
+
+// Sim is one simulation instance. It is not safe for concurrent use;
+// parallelize across Sim instances.
+type Sim struct {
+	net *topology.Network
+	tab *routing.Table
+	cfg Config
+
+	routers []router
+	pipes   []linkPipe
+	// inPortOf[l] is the input port index of link l at its Dst router;
+	// outPortOf[l] is the output port index at its Src router.
+	inPortOf  []int16
+	outPortOf []int16
+
+	pkts    []pktMeta
+	sources [][]int32 // per node: packet indices in release order
+	srcPos  []int     // per node: next packet to inject
+	srcFlit []int32   // per node: next flit seq of current packet
+	srcVC   []int8    // per node: VC carrying the current packet (-1)
+
+	now       int64
+	stats     Stats
+	latSum    float64
+	latencies stats.Sample
+	credits   []creditEvent
+
+	// Activity tracking lets idle stretches be skipped and idle routers
+	// bypassed: buffered counts flits in input buffers per router,
+	// inflight counts flits on channels.
+	buffered []int32
+	totalBuf int64
+	inflight int64
+	scratch  []int32
+
+	// classed enables dateline VC-class partitioning: required for the
+	// torus-like hops = Width−1 topology, where packets crossing a row
+	// wrap switch to the upper half of the VC pool to break ring cycles.
+	classed bool
+	// class0VCs is the size of the class-0 partition.
+	class0VCs int8
+}
+
+type creditEvent struct {
+	r    int32
+	port int16
+	vc   int8
+}
+
+// New builds a simulator for a network and routing table.
+func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tab.Net() != net {
+		return nil, fmt.Errorf("noc: routing table built for a different network")
+	}
+	if net.HasDateline() && cfg.VCs < 2 {
+		return nil, fmt.Errorf("noc: torus-like topology needs ≥2 VCs for dateline classes, have %d", cfg.VCs)
+	}
+	n := net.NumNodes()
+	s := &Sim{
+		net:       net,
+		tab:       tab,
+		cfg:       cfg,
+		routers:   make([]router, n),
+		pipes:     make([]linkPipe, len(net.Links)),
+		inPortOf:  make([]int16, len(net.Links)),
+		outPortOf: make([]int16, len(net.Links)),
+		sources:   make([][]int32, n),
+		srcPos:    make([]int, n),
+		srcFlit:   make([]int32, n),
+		srcVC:     make([]int8, n),
+		buffered:  make([]int32, n),
+	}
+	s.stats.LinkFlits = make([]int64, len(net.Links))
+	s.stats.RouterFlits = make([]int64, n)
+	s.classed = net.HasDateline()
+	// Class 1 (post-wrap) packets are the rare case: give them the top
+	// VC only and keep the rest for class 0, minimizing the partition
+	// penalty on non-wrapping traffic.
+	s.class0VCs = int8(cfg.VCs - 1)
+	for i := range s.srcVC {
+		s.srcVC[i] = -1
+	}
+	for id := 0; id < n; id++ {
+		node := topology.NodeID(id)
+		inLinks := net.InLinks(node)
+		outLinks := net.OutLinks(node)
+		r := router{
+			id:      node,
+			in:      make([][]vcState, 1+len(inLinks)),
+			out:     make([]outState, 1+len(outLinks)),
+			inSAPtr: make([]int, 1+len(inLinks)),
+			inIsX:   make([]bool, 1+len(inLinks)),
+			outIsY:  make([]bool, 1+len(outLinks)),
+		}
+		for p := range r.in {
+			r.in[p] = make([]vcState, cfg.VCs)
+			for v := range r.in[p] {
+				r.in[p][v].outVC = -1
+				r.in[p][v].writer = -1
+			}
+		}
+		// Output 0: ejection (ideal sink, no credit bound).
+		r.out[0] = outState{link: -1}
+		for i, lid := range outLinks {
+			credits := make([]int16, cfg.VCs)
+			owner := make([]int32, cfg.VCs)
+			for v := range credits {
+				credits[v] = int16(cfg.BufDepthFlits)
+				owner[v] = -1
+			}
+			l := net.Links[lid]
+			r.out[1+i] = outState{
+				link:    lid,
+				credits: credits,
+				owner:   owner,
+				classed: (net.HasDatelineX() && l.DX(net) != 0) ||
+					(net.HasDatelineY() && l.DY(net) != 0),
+			}
+			r.outIsY[1+i] = l.DY(net) != 0
+			s.outPortOf[lid] = int16(1 + i)
+		}
+		for i, lid := range inLinks {
+			s.inPortOf[lid] = int16(1 + i)
+			r.inIsX[1+i] = net.Links[lid].DX(net) != 0
+		}
+		// Ejection owner bookkeeping still needed for VC allocation.
+		r.out[0].credits = nil
+		ej := make([]int32, cfg.VCs)
+		for v := range ej {
+			ej[v] = -1
+		}
+		r.out[0].owner = ej
+		s.routers[id] = r
+	}
+	return s, nil
+}
+
+// Inject queues a packet for injection. Must be called before Run.
+func (s *Sim) Inject(p Packet) error {
+	if p.SizeFlits <= 0 {
+		return fmt.Errorf("noc: packet size %d", p.SizeFlits)
+	}
+	if int(p.Src) < 0 || int(p.Src) >= s.net.NumNodes() ||
+		int(p.Dst) < 0 || int(p.Dst) >= s.net.NumNodes() {
+		return fmt.Errorf("noc: endpoints %d->%d out of range", p.Src, p.Dst)
+	}
+	if p.Release < 0 {
+		return fmt.Errorf("noc: negative release %d", p.Release)
+	}
+	idx := int32(len(s.pkts))
+	s.pkts = append(s.pkts, pktMeta{Packet: p})
+	s.sources[p.Src] = append(s.sources[p.Src], idx)
+	return nil
+}
+
+// InjectAll queues a batch of packets.
+func (s *Sim) InjectAll(ps []Packet) error {
+	for _, p := range ps {
+		if err := s.Inject(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run simulates until every injected packet has fully ejected, or MaxCycles
+// elapses (an error: the network failed to drain).
+func (s *Sim) Run() (Stats, error) {
+	// Stable order: by release cycle, then insertion order.
+	for node := range s.sources {
+		q := s.sources[node]
+		sort.SliceStable(q, func(i, j int) bool {
+			return s.pkts[q[i]].Release < s.pkts[q[j]].Release
+		})
+	}
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	remaining := int64(len(s.pkts))
+	for remaining > 0 {
+		if s.now >= maxCycles {
+			return s.stats, fmt.Errorf("noc: %d packets undrained after %d cycles (deadlock or overload)",
+				remaining, s.now)
+		}
+		// Fast-forward across fully idle stretches (gaps between trace
+		// bursts): nothing buffered, nothing in flight — jump to the
+		// earliest pending release.
+		if s.totalBuf == 0 && s.inflight == 0 {
+			next := int64(-1)
+			for node := range s.sources {
+				if pos := s.srcPos[node]; pos < len(s.sources[node]) {
+					rel := s.pkts[s.sources[node][pos]].Release
+					if next < 0 || rel < next {
+						next = rel
+					}
+				}
+			}
+			if next > s.now {
+				s.now = next
+			}
+		}
+		s.deliverLinkArrivals()
+		s.injectFromSources()
+		s.routeAndAllocateVCs()
+		ejected := s.switchAllocateAndSend()
+		s.applyCredits()
+		remaining -= ejected
+		s.now++
+	}
+	s.stats.Cycles = s.now
+	if s.stats.PacketsEjected > 0 {
+		s.stats.AvgPacketLatencyClks = s.latSum / float64(s.stats.PacketsEjected)
+		s.stats.P50PacketLatencyClks = s.latencies.Quantile(0.50)
+		s.stats.P95PacketLatencyClks = s.latencies.Quantile(0.95)
+		s.stats.P99PacketLatencyClks = s.latencies.Quantile(0.99)
+	}
+	var hops int64
+	for _, p := range s.pkts {
+		hops += int64(p.hops)
+	}
+	if len(s.pkts) > 0 {
+		s.stats.AvgHopCount = float64(hops) / float64(len(s.pkts))
+	}
+	return s.stats, nil
+}
+
+// deliverLinkArrivals moves flits whose channel delay elapsed into the
+// downstream input buffers. Credits were reserved at send time, so space is
+// guaranteed.
+func (s *Sim) deliverLinkArrivals() {
+	for lid := range s.pipes {
+		pipe := &s.pipes[lid]
+		for len(pipe.q) > 0 && pipe.q[0].arrive <= s.now {
+			e := pipe.q[0]
+			pipe.q = pipe.q[1:]
+			l := s.net.Links[lid]
+			r := &s.routers[l.Dst]
+			port := s.inPortOf[lid]
+			vc := &r.in[port][e.f.vc]
+			vc.q = append(vc.q, bufEntry{f: e.f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
+			s.stats.RouterFlits[l.Dst]++
+			s.buffered[l.Dst]++
+			s.totalBuf++
+			s.inflight--
+		}
+	}
+}
+
+// injectFromSources writes up to one flit per node per cycle into the local
+// injection port, matching the 1 flit/cycle channel rate.
+func (s *Sim) injectFromSources() {
+	for node := range s.sources {
+		pos := s.srcPos[node]
+		if pos >= len(s.sources[node]) {
+			continue
+		}
+		pi := s.sources[node][pos]
+		p := &s.pkts[pi]
+		if p.Release > s.now {
+			continue
+		}
+		r := &s.routers[node]
+		seq := s.srcFlit[node]
+		var vcIdx int8
+		if seq == 0 {
+			// Head flit: claim a free injection VC with space.
+			vcIdx = -1
+			for v := 0; v < s.cfg.VCs; v++ {
+				vc := &r.in[0][v]
+				if vc.writer == -1 && len(vc.q) < s.cfg.BufDepthFlits {
+					vcIdx = int8(v)
+					break
+				}
+			}
+			if vcIdx < 0 {
+				continue // all injection VCs busy or full
+			}
+			r.in[0][vcIdx].writer = pi
+			s.srcVC[node] = vcIdx
+		} else {
+			vcIdx = s.srcVC[node]
+			vc := &r.in[0][vcIdx]
+			if len(vc.q) >= s.cfg.BufDepthFlits {
+				continue // wait for space
+			}
+		}
+		vc := &r.in[0][vcIdx]
+		f := flit{
+			pkt:  pi,
+			seq:  seq,
+			vc:   vcIdx,
+			head: seq == 0,
+			tail: int(seq) == p.SizeFlits-1,
+		}
+		vc.q = append(vc.q, bufEntry{f: f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
+		s.stats.FlitsInjected++
+		s.stats.RouterFlits[node]++
+		s.buffered[node]++
+		s.totalBuf++
+		if f.head {
+			s.stats.PacketsInjected++
+		}
+		if f.tail {
+			vc.writer = -1
+			s.srcVC[node] = -1
+			s.srcFlit[node] = 0
+			s.srcPos[node]++
+		} else {
+			s.srcFlit[node] = seq + 1
+		}
+	}
+}
+
+// routeAndAllocateVCs performs route computation for unrouted head flits at
+// buffer fronts and allocates free output VCs round-robin per output port.
+func (s *Sim) routeAndAllocateVCs() {
+	for rid := range s.routers {
+		if s.buffered[rid] == 0 {
+			continue
+		}
+		r := &s.routers[rid]
+		// Route computation.
+		for p := range r.in {
+			for v := range r.in[p] {
+				vc := &r.in[p][v]
+				if len(vc.q) == 0 || vc.routed || !vc.q[0].f.head {
+					continue
+				}
+				dst := s.pkts[vc.q[0].f.pkt].Dst
+				vc.outCls = vc.q[0].f.cls
+				if topology.NodeID(rid) == dst {
+					vc.outPort = 0
+				} else {
+					lid := s.tab.NextLink(topology.NodeID(rid), dst)
+					vc.outPort = s.outPortOf[lid]
+					// The X→Y dimension transition starts a fresh
+					// ring, so the dateline class resets; the Y
+					// ring then sets it again at its own wrap.
+					if r.inIsX[p] && r.outIsY[vc.outPort] {
+						vc.outCls = 0
+					}
+					if s.net.Links[lid].Dateline && vc.outCls == 0 {
+						vc.outCls = 1
+					}
+				}
+				vc.routed = true
+				vc.outVC = -1
+			}
+		}
+		// VC allocation per output port.
+		for op := range r.out {
+			out := &r.out[op]
+			// Gather requesters in packed (port, vc) order.
+			reqs := s.scratch[:0]
+			for p := range r.in {
+				for v := range r.in[p] {
+					vc := &r.in[p][v]
+					if vc.routed && vc.outVC < 0 && int(vc.outPort) == op && len(vc.q) > 0 {
+						reqs = append(reqs, int32(p*s.cfg.VCs+v))
+					}
+				}
+			}
+			if len(reqs) == 0 {
+				continue
+			}
+			// Free output VCs in index order; requesters served
+			// round-robin starting at vaPtr. Under dateline classing
+			// a VC may only go to a requester of its class: class 0
+			// owns the lower partition, class 1 the upper.
+			for fv, owner := range out.owner {
+				if owner != -1 || len(reqs) == 0 {
+					continue
+				}
+				n := len(reqs)
+				granted := false
+				for k := 0; k < n && !granted; k++ {
+					pick := (out.vaPtr + k) % n
+					req := reqs[pick]
+					p, v := int(req)/s.cfg.VCs, int(req)%s.cfg.VCs
+					if out.classed && s.vcClass(int8(fv)) != r.in[p][v].outCls {
+						continue
+					}
+					reqs = append(reqs[:pick], reqs[pick+1:]...)
+					out.vaPtr++
+					r.in[p][v].outVC = int8(fv)
+					out.owner[fv] = req
+					granted = true
+				}
+			}
+			s.scratch = reqs[:0]
+		}
+	}
+}
+
+// switchAllocateAndSend is the separable switch allocator plus traversal:
+// one candidate VC per input port (round-robin), one grant per output port
+// (round-robin), then flit movement. Returns packets fully ejected this
+// cycle.
+func (s *Sim) switchAllocateAndSend() int64 {
+	var ejected int64
+	for rid := range s.routers {
+		if s.buffered[rid] == 0 {
+			continue
+		}
+		r := &s.routers[rid]
+		// Input stage: pick one eligible VC per input port.
+		cand := make([]int, len(r.in)) // VC index per port, -1 = none
+		for p := range r.in {
+			cand[p] = -1
+			ptr := r.inSAPtr[p]
+			for k := 0; k < s.cfg.VCs; k++ {
+				v := (ptr + k) % s.cfg.VCs
+				vc := &r.in[p][v]
+				if len(vc.q) == 0 || !vc.routed || vc.outVC < 0 {
+					continue
+				}
+				e := vc.q[0]
+				if e.ready > s.now {
+					continue
+				}
+				out := &r.out[vc.outPort]
+				if vc.outPort != 0 && out.credits[vc.outVC] <= 0 {
+					continue // no downstream space
+				}
+				cand[p] = v
+				break
+			}
+		}
+		// Output stage: grant one input per output port.
+		for op := range r.out {
+			out := &r.out[op]
+			nports := len(r.in)
+			grant := -1
+			for k := 0; k < nports; k++ {
+				p := (out.saPtr + k) % nports
+				v := cand[p]
+				if v < 0 {
+					continue
+				}
+				if int(r.in[p][v].outPort) != op {
+					continue
+				}
+				grant = p
+				break
+			}
+			if grant < 0 {
+				continue
+			}
+			out.saPtr = grant + 1
+			v := cand[grant]
+			cand[grant] = -1 // input port consumed
+			s.sendFlit(rid, grant, v, op, &ejected)
+		}
+	}
+	return ejected
+}
+
+// sendFlit pops the head flit of input (port, v) and moves it through output
+// port op: onto the channel, or out of the network for ejection.
+func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
+	r := &s.routers[rid]
+	vc := &r.in[port][v]
+	e := vc.q[0]
+	vc.q = vc.q[1:]
+	out := &r.out[op]
+	r.inSAPtr[port] = v + 1
+	s.buffered[rid]--
+	s.totalBuf--
+
+	// Return a credit upstream for the freed buffer slot (injection port
+	// slots are source-managed, not credited).
+	if port != 0 {
+		lid := s.net.InLinks(topology.NodeID(rid))[port-1]
+		l := s.net.Links[lid]
+		s.credits = append(s.credits, creditEvent{
+			r:    int32(l.Src),
+			port: s.outPortOf[lid],
+			vc:   e.f.vc,
+		})
+	}
+
+	if op == 0 {
+		// Ejection: retire the flit at now+1 (switch traversal).
+		p := &s.pkts[e.f.pkt]
+		s.stats.FlitsEjected++
+		p.flitsEjected++
+		if e.f.tail {
+			p.done = true
+			s.stats.PacketsEjected++
+			lat := float64(s.now + 1 - p.Release)
+			s.latSum += lat
+			s.latencies.Add(lat)
+			if l := s.now + 1 - p.Release; l > s.stats.MaxPacketLatencyClks {
+				s.stats.MaxPacketLatencyClks = l
+			}
+			*ejected++
+		}
+	} else {
+		// Channel traversal.
+		lid := out.link
+		l := s.net.Links[lid]
+		f := e.f
+		f.vc = int8(vc.outVC)
+		f.cls = vc.outCls
+		f.head = e.f.head
+		s.pipes[lid].q = append(s.pipes[lid].q, linkEntry{
+			f:      f,
+			arrive: s.now + 1 + int64(l.LatencyClks),
+		})
+		out.credits[vc.outVC]--
+		s.stats.LinkFlits[lid]++
+		s.inflight++
+		if e.f.head {
+			s.pkts[e.f.pkt].hops++
+		}
+	}
+
+	// Tail departure releases the output VC and the route.
+	if e.f.tail {
+		if vc.outVC >= 0 {
+			out.owner[vc.outVC] = -1
+		}
+		vc.routed = false
+		vc.outVC = -1
+	}
+}
+
+// applyCredits returns freed buffer slots to upstream routers; buffered so
+// the increments become visible next cycle.
+func (s *Sim) applyCredits() {
+	for _, c := range s.credits {
+		s.routers[c.r].out[c.port].credits[c.vc]++
+	}
+	s.credits = s.credits[:0]
+}
+
+// vcClass maps a VC index to its dateline class: the lower partition is
+// class 0, the upper class 1.
+func (s *Sim) vcClass(v int8) int8 {
+	if v < s.class0VCs {
+		return 0
+	}
+	return 1
+}
+
+// Now returns the current simulation cycle (for tests/diagnostics).
+func (s *Sim) Now() int64 { return s.now }

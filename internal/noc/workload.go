@@ -1,0 +1,142 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// BernoulliWorkload generates open-loop random packet arrivals from a
+// traffic rate matrix: each cycle, node s starts a new packet with
+// probability RowSum(s)/sizeFlits (so the injected flit rate matches the
+// matrix), destination drawn from the row's distribution. This is the
+// standard open-loop load-latency methodology (BookSim's injection mode),
+// complementing trace-driven runs.
+type BernoulliWorkload struct {
+	// SizeFlits is the fixed packet length.
+	SizeFlits int
+	// Cycles is the generation horizon.
+	Cycles int64
+	// Seed drives the deterministic arrival process.
+	Seed int64
+}
+
+// Generate draws the packet list for a network and rate matrix.
+func (w BernoulliWorkload) Generate(net *topology.Network, tm *traffic.Matrix) ([]Packet, error) {
+	if w.SizeFlits <= 0 || w.Cycles <= 0 {
+		return nil, fmt.Errorf("noc: invalid workload %+v", w)
+	}
+	if tm.N != net.NumNodes() {
+		return nil, fmt.Errorf("noc: traffic for %d nodes on %d-node network", tm.N, net.NumNodes())
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	n := net.NumNodes()
+
+	// Per-source cumulative destination distribution.
+	cum := make([][]float64, n)
+	rowRate := make([]float64, n)
+	for s := 0; s < n; s++ {
+		rowRate[s] = tm.RowSum(s)
+		if rowRate[s] == 0 {
+			continue
+		}
+		c := make([]float64, n)
+		acc := 0.0
+		for d := 0; d < n; d++ {
+			acc += tm.Rates[s][d]
+			c[d] = acc
+		}
+		cum[s] = c
+	}
+
+	var pkts []Packet
+	for s := 0; s < n; s++ {
+		if rowRate[s] == 0 {
+			continue
+		}
+		pPkt := rowRate[s] / float64(w.SizeFlits)
+		if pPkt > 1 {
+			return nil, fmt.Errorf("noc: node %d rate %v exceeds 1 packet/cycle", s, pPkt)
+		}
+		for cyc := int64(0); cyc < w.Cycles; cyc++ {
+			if rng.Float64() >= pPkt {
+				continue
+			}
+			// Sample the destination from the cumulative row.
+			x := rng.Float64() * rowRate[s]
+			d := searchCum(cum[s], x)
+			if d == s {
+				continue // degenerate row; skip self traffic
+			}
+			pkts = append(pkts, Packet{
+				Src:       topology.NodeID(s),
+				Dst:       topology.NodeID(d),
+				SizeFlits: w.SizeFlits,
+				Release:   cyc,
+			})
+		}
+	}
+	return pkts, nil
+}
+
+// searchCum returns the first index whose cumulative value exceeds x.
+func searchCum(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LoadPoint is one sample of a load-latency curve.
+type LoadPoint struct {
+	// InjectionRate is the offered max per-node rate in flits/cycle.
+	InjectionRate float64
+	// AvgLatencyClks and P99LatencyClks summarize packet latency.
+	AvgLatencyClks, P99LatencyClks float64
+	// Saturated marks points that failed to drain within the cycle cap
+	// (offered load beyond network capacity).
+	Saturated bool
+}
+
+// LoadLatencyCurve sweeps the offered injection rate over `rates`, running
+// a Bernoulli workload per point, and returns the classic load-latency
+// curve used to locate network saturation. Points that fail to drain within
+// the configured MaxCycles are flagged Saturated rather than failing the
+// sweep.
+func LoadLatencyCurve(net *topology.Network, tab *routing.Table, base *traffic.Matrix,
+	rates []float64, w BernoulliWorkload, cfg Config) ([]LoadPoint, error) {
+	out := make([]LoadPoint, 0, len(rates))
+	for _, r := range rates {
+		tm := base.ScaledToMaxRate(r)
+		pkts, err := w.Generate(net, tm)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := New(net, tab, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.InjectAll(pkts); err != nil {
+			return nil, err
+		}
+		st, err := sim.Run()
+		pt := LoadPoint{InjectionRate: r}
+		if err != nil {
+			pt.Saturated = true
+		} else {
+			pt.AvgLatencyClks = st.AvgPacketLatencyClks
+			pt.P99LatencyClks = st.P99PacketLatencyClks
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

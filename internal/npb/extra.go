@@ -1,0 +1,139 @@
+package npb
+
+import (
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Extension kernels beyond the four the paper evaluates: EP and IS complete
+// the classic NPB communication spectrum and serve as controls — EP is
+// nearly communication-free (express links cannot matter), IS is a skewed
+// all-to-all-v (bucket exchange) between FT's uniform all-to-all and CG's
+// structured exchanges.
+const (
+	// EP is the embarrassingly-parallel kernel: computation with a
+	// single small butterfly allreduce at the end.
+	EP Kernel = iota + 100
+	// IS is the integer-sort kernel: per-iteration bucket exchange
+	// (all-to-all-v with skewed sizes) plus a small allreduce.
+	IS
+)
+
+// ExtensionKernels lists the extra kernels.
+var ExtensionKernels = []Kernel{EP, IS}
+
+// Class A reference volumes for the extension kernels.
+const (
+	epBytesPerStep = 64  // one partial sum per butterfly stage
+	isBytesPerPair = 512 // 2^23 keys × 4 B spread over 255 partners
+	isDefaultIters = 10
+	epDefaultIters = 1
+)
+
+func extString(k Kernel) (string, bool) {
+	switch k {
+	case EP:
+		return "EP", true
+	case IS:
+		return "IS", true
+	}
+	return "", false
+}
+
+func extParse(s string) (Kernel, bool) {
+	switch s {
+	case "EP", "ep":
+		return EP, true
+	case "IS", "is":
+		return IS, true
+	}
+	return 0, false
+}
+
+func extGenerate(cfg Config) ([]trace.Event, bool) {
+	switch cfg.Kernel {
+	case EP:
+		return genEP(cfg), true
+	case IS:
+		return genIS(cfg), true
+	}
+	return nil, false
+}
+
+// genEP: a recursive-doubling allreduce: log2(N) stages, each rank
+// exchanging one tiny message with its rank XOR 2^k partner. Stage s of the
+// butterfly maps to mesh strides that alternate horizontal and vertical
+// under row-major placement.
+func genEP(cfg Config) []trace.Event {
+	n := cfg.GridW * cfg.GridH
+	bytes := scaleBytes(epBytesPerStep, cfg.Scale)
+	serial := cfg.spacing(bytes)
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+	gap := cfg.phaseGap(bytes * int64(stages))
+	var events []trace.Event
+	for it := 0; it < cfg.iters(epDefaultIters); it++ {
+		start := int64(it) * gap
+		for s := 0; s < stages; s++ {
+			for r := 0; r < n; r++ {
+				p := r ^ (1 << s)
+				if p >= n {
+					continue
+				}
+				events = append(events, trace.Event{
+					Cycle: start + int64(s)*serial,
+					Src:   r, Dst: p, Bytes: bytes,
+				})
+			}
+		}
+	}
+	return events
+}
+
+// genIS: per iteration, a bucket exchange — every rank sends to every other
+// rank, but with skewed per-pair volumes (buckets are data dependent): sizes
+// are drawn deterministically around the Class A mean with a 4:1 spread.
+// A small recursive-doubling allreduce (bucket-size ranking) precedes it.
+func genIS(cfg Config) []trace.Event {
+	n := cfg.GridW * cfg.GridH
+	mean := scaleBytes(isBytesPerPair, cfg.Scale)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	gap := cfg.phaseGap(int64(n-1) * mean)
+	var events []trace.Event
+	for it := 0; it < cfg.iters(isDefaultIters); it++ {
+		start := int64(it) * gap
+		// Ranking allreduce.
+		for s := 0; 1<<s < n; s++ {
+			for r := 0; r < n; r++ {
+				p := r ^ (1 << s)
+				if p < n {
+					events = append(events, trace.Event{
+						Cycle: start + int64(s), Src: r, Dst: p, Bytes: minMessageBytes,
+					})
+				}
+			}
+		}
+		// Skewed bucket exchange.
+		for s := 0; s < n; s++ {
+			order := rng.Perm(n)
+			t := start + 64
+			for _, d := range order {
+				if d == s {
+					continue
+				}
+				// Skew: bucket sizes vary 4:1 around the mean.
+				f := 0.4 + 1.2*rng.Float64()
+				bytes := int64(float64(mean) * f)
+				if bytes < minMessageBytes {
+					bytes = minMessageBytes
+				}
+				events = append(events, trace.Event{Cycle: t, Src: s, Dst: d, Bytes: bytes})
+				t += cfg.spacing(bytes)
+			}
+		}
+	}
+	return events
+}

@@ -1,0 +1,88 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestEPIsNearlyCommunicationFree(t *testing.T) {
+	ep := MustGenerate(DefaultConfig(EP))
+	ft := MustGenerate(DefaultConfig(FT))
+	if trace.TotalBytes(ep)*100 > trace.TotalBytes(ft) {
+		t.Errorf("EP volume %d should be ≪ FT volume %d",
+			trace.TotalBytes(ep), trace.TotalBytes(ft))
+	}
+	// One butterfly: log2(256) = 8 stages × 256 ranks.
+	if want := 8 * 256; len(ep) != want {
+		t.Errorf("EP events = %d, want %d", len(ep), want)
+	}
+}
+
+func TestEPButterflyPartners(t *testing.T) {
+	ep := MustGenerate(DefaultConfig(EP))
+	for _, e := range ep {
+		x := e.Src ^ e.Dst
+		// Partner differs in exactly one bit.
+		if x == 0 || x&(x-1) != 0 {
+			t.Fatalf("EP exchange %d->%d not a butterfly partner", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestISIsSkewedAllToAll(t *testing.T) {
+	cfg := DefaultConfig(IS)
+	cfg.Iterations = 1
+	is := MustGenerate(cfg)
+	// Bucket phase covers all ordered pairs (+ the allreduce events).
+	pairs := map[[2]int]int64{}
+	var minB, maxB int64
+	for _, e := range is {
+		if e.Bytes <= minMessageBytes {
+			continue // allreduce control messages
+		}
+		pairs[[2]int{e.Src, e.Dst}] = e.Bytes
+		if minB == 0 || e.Bytes < minB {
+			minB = e.Bytes
+		}
+		if e.Bytes > maxB {
+			maxB = e.Bytes
+		}
+	}
+	if len(pairs) != 256*255 {
+		t.Errorf("IS bucket exchange covers %d pairs, want %d", len(pairs), 256*255)
+	}
+	// Skew: sizes spread by more than 2:1 (drawn 4:1).
+	if float64(maxB) < 2*float64(minB) {
+		t.Errorf("IS bucket sizes not skewed: %d..%d", minB, maxB)
+	}
+}
+
+func TestExtensionKernelsRoundTrip(t *testing.T) {
+	for _, k := range ExtensionKernels {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKernel(%q) = %v, %v", k.String(), got, err)
+		}
+		ev := MustGenerate(DefaultConfig(k))
+		if len(ev) == 0 {
+			t.Errorf("%v: empty trace", k)
+		}
+		if _, err := trace.Packetize(ev, 256, trace.DefaultPacketize()); err != nil {
+			t.Errorf("%v: packetize: %v", k, err)
+		}
+	}
+}
+
+func TestISDeterminism(t *testing.T) {
+	a := MustGenerate(DefaultConfig(IS))
+	b := MustGenerate(DefaultConfig(IS))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func gen(t *testing.T, k Kernel) []trace.Event {
+	t.Helper()
+	ev, err := Generate(DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) == 0 {
+		t.Fatalf("%v: empty trace", k)
+	}
+	return ev
+}
+
+// meshDist is the 16×16 Manhattan distance between ranks.
+func meshDist(a, b int) int {
+	ax, ay := a%16, a/16
+	bx, by := b%16, b/16
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+func meanDist(ev []trace.Event) float64 {
+	var sum float64
+	for _, e := range ev {
+		sum += float64(meshDist(e.Src, e.Dst))
+	}
+	return sum / float64(len(ev))
+}
+
+// TestFTIsAllToAll: every ordered pair communicates in each iteration.
+func TestFTIsAllToAll(t *testing.T) {
+	cfg := DefaultConfig(FT)
+	cfg.Iterations = 1
+	ev := MustGenerate(cfg)
+	if want := 256 * 255; len(ev) != want {
+		t.Fatalf("FT events %d, want %d", len(ev), want)
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range ev {
+		if e.Src == e.Dst {
+			t.Fatal("self message")
+		}
+		seen[[2]int{e.Src, e.Dst}] = true
+	}
+	if len(seen) != 256*255 {
+		t.Errorf("FT covered %d pairs, want %d", len(seen), 256*255)
+	}
+	// All-to-all on a 16×16 grid averages ≈10.7 hops.
+	if d := meanDist(ev); d < 10 || d > 11.5 {
+		t.Errorf("FT mean distance %v, want ≈10.7", d)
+	}
+}
+
+// TestCGIsShortRange: power-of-two row exchanges average under 4 hops —
+// the paper's "CG has short range traffic".
+func TestCGIsShortRange(t *testing.T) {
+	ev := gen(t, CG)
+	if d := meanDist(ev); d < 2 || d > 4.5 {
+		t.Errorf("CG mean distance %v, want ≈3.2 (short range)", d)
+	}
+	// All CG traffic stays within a row.
+	for _, e := range ev {
+		if e.Src/16 != e.Dst/16 {
+			t.Fatalf("CG message leaves its row: %d->%d", e.Src, e.Dst)
+		}
+	}
+	// Offsets are powers of two only.
+	for _, e := range ev {
+		dx := meshDist(e.Src, e.Dst)
+		if dx != 1 && dx != 2 && dx != 4 && dx != 8 {
+			t.Fatalf("CG offset %d not a power of two", dx)
+		}
+	}
+}
+
+// TestMGHasLongRangeWraparound: periodic boundaries produce near-full-row
+// routes (distance ≥ 12), the traffic class that profits from hops=15.
+func TestMGHasLongRangeWraparound(t *testing.T) {
+	ev := gen(t, MG)
+	var long int
+	for _, e := range ev {
+		if meshDist(e.Src, e.Dst) >= 12 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("MG should contain wraparound long-range messages")
+	}
+	// Mean distance sits between CG's and FT's.
+	d := meanDist(ev)
+	if d < 3 || d > 9 {
+		t.Errorf("MG mean distance %v, want mid-range", d)
+	}
+	// Message sizes halve with level: multiple distinct sizes present.
+	sizes := map[int64]bool{}
+	for _, e := range ev {
+		sizes[e.Bytes] = true
+	}
+	if len(sizes) < 3 {
+		t.Errorf("MG should have per-level message sizes, got %d distinct", len(sizes))
+	}
+}
+
+// TestLUIsOneHop: every LU message goes to an immediate mesh neighbour.
+func TestLUIsOneHop(t *testing.T) {
+	ev := gen(t, LU)
+	for _, e := range ev {
+		if meshDist(e.Src, e.Dst) != 1 {
+			t.Fatalf("LU message %d->%d is %d hops", e.Src, e.Dst, meshDist(e.Src, e.Dst))
+		}
+	}
+	if d := meanDist(ev); d != 1 {
+		t.Errorf("LU mean distance %v, want exactly 1", d)
+	}
+}
+
+// TestKernelLocalityOrdering: the Fig. 6 narrative requires
+// LU < CG < MG < FT in mean hop distance.
+func TestKernelLocalityOrdering(t *testing.T) {
+	lu := meanDist(gen(t, LU))
+	cg := meanDist(gen(t, CG))
+	mg := meanDist(gen(t, MG))
+	ft := meanDist(gen(t, FT))
+	if !(lu < cg && cg < mg && mg < ft) {
+		t.Errorf("locality ordering broken: LU=%v CG=%v MG=%v FT=%v", lu, cg, mg, ft)
+	}
+}
+
+func TestVolumeScalesLinearly(t *testing.T) {
+	a := DefaultConfig(FT)
+	a.Iterations = 1
+	a.Scale = 1.0
+	b := a
+	b.Scale = 0.5
+	va := trace.TotalBytes(MustGenerate(a))
+	vb := trace.TotalBytes(MustGenerate(b))
+	ratio := float64(va) / float64(vb)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("volume ratio %v, want ≈2", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, k := range Kernels {
+		a := MustGenerate(DefaultConfig(k))
+		b := MustGenerate(DefaultConfig(k))
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ", k)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: event %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestEventsAreValidForPacketize(t *testing.T) {
+	for _, k := range Kernels {
+		ev := gen(t, k)
+		if _, err := trace.Packetize(ev, 256, trace.DefaultPacketize()); err != nil {
+			t.Errorf("%v: packetize failed: %v", k, err)
+		}
+	}
+}
+
+func TestIterationsOverride(t *testing.T) {
+	one := DefaultConfig(LU)
+	one.Iterations = 1
+	two := DefaultConfig(LU)
+	two.Iterations = 2
+	if got := len(MustGenerate(two)); got != 2*len(MustGenerate(one)) {
+		t.Errorf("2 iterations should double events, got %d", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Kernel: FT, GridW: 1, GridH: 16, Scale: 1},
+		{Kernel: FT, GridW: 16, GridH: 16, Scale: 0},
+		{Kernel: FT, GridW: 16, GridH: 16, Scale: 100},
+		{Kernel: FT, GridW: 16, GridH: 16, Scale: 1, Iterations: -1},
+		{Kernel: FT, GridW: 16, GridH: 16, Scale: 1, PhaseGapCycles: -1},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err != nil {
+			continue
+		}
+		t.Errorf("config %d should fail", i)
+	}
+	if _, err := Generate(Config{Kernel: Kernel(9), GridW: 16, GridH: 16, Scale: 1}); err == nil {
+		t.Error("unknown kernel must fail")
+	}
+}
+
+func TestKernelStringAndParse(t *testing.T) {
+	for _, k := range Kernels {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKernel(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKernel("BT"); err == nil {
+		t.Error("unknown kernel name must fail")
+	}
+	if Kernel(9).String() != "Kernel(9)" {
+		t.Error("unknown kernel string")
+	}
+}

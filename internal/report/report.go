@@ -1,0 +1,153 @@
+// Package report serializes experiment results to CSV so figures can be
+// regenerated outside Go (the paper's plots are all simple series/bars).
+// Each Write function emits one experiment family with a fixed, documented
+// header row.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/optical"
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteLinkSweep emits the Fig. 3 dataset:
+// length_m, then CLEAR per technology.
+func WriteLinkSweep(w io.Writer, pts []link.SweepPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{"length_m"}
+	for _, t := range tech.Technologies {
+		header = append(header, "clear_"+t.String())
+	}
+	header = append(header, "best")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		row := []string{f(p.LengthM)}
+		for _, t := range tech.Technologies {
+			row = append(row, f(p.CLEAR[t]))
+		}
+		row = append(row, p.Best().String())
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteExploration emits the Fig. 5 / Table III / Table IV dataset: one row
+// per design point with every CLEAR ingredient.
+func WriteExploration(w io.Writer, results []core.ExplorationResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"base", "express", "hops",
+		"clear", "capability_gbps_per_node", "latency_clks",
+		"power_w", "static_w", "dynamic_w", "area_mm2",
+		"r", "avg_utilization", "mean_hops", "express_flit_fraction",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{
+			r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
+			f(r.CLEAR), f(r.CapabilityGbpsPerNode), f(r.AvgLatencyClks),
+			f(r.PowerW), f(r.StaticW), f(r.DynamicW), f(r.AreaM2 / units.MillimetreSq),
+			f(r.R), f(r.AvgUtilization), f(r.MeanHops), f(r.ExpressFlitFraction),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTraceResults emits the Fig. 6 / Table V dataset: one row per
+// (kernel, design point) run.
+func WriteTraceResults(w io.Writer, results []core.TraceResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"kernel", "base", "express", "hops",
+		"avg_latency_clks", "p50_clks", "p95_clks", "p99_clks",
+		"dynamic_energy_j", "static_power_w",
+		"packets", "flits", "cycles",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{
+			r.Kernel.String(), r.Point.Base.String(), r.Point.Express.String(),
+			strconv.Itoa(r.Point.Hops),
+			f(r.AvgLatencyClks), f(r.Stats.P50PacketLatencyClks),
+			f(r.Stats.P95PacketLatencyClks), f(r.Stats.P99PacketLatencyClks),
+			f(r.DynamicEnergyJ), f(r.StaticPowerW),
+			strconv.FormatInt(r.Stats.PacketsEjected, 10),
+			strconv.FormatInt(r.Stats.FlitsEjected, 10),
+			strconv.FormatInt(r.Stats.Cycles, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRadar emits the Fig. 8 dataset: one row per corner.
+func WriteRadar(w io.Writer, radar optical.Radar) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"corner", "energy_j_per_bit", "latency_clks", "area_mm2",
+		"mean_path_loss_db", "worst_path_loss_db",
+	}); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		p    optical.Projection
+	}{
+		{"electronic", radar.Electronic},
+		{"all_photonic", radar.Photonic},
+		{"all_hyppi", radar.HyPPI},
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.name, f(r.p.EnergyPerBitJ), f(r.p.LatencyClks),
+			f(r.p.AreaM2 / units.MillimetreSq),
+			f(r.p.MeanPathLossDB), f(r.p.WorstPathLossDB),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Check validates that a CSV stream parses and has the expected column
+// count on every row; used by the orchestrator as a write-through sanity
+// check.
+func Check(r io.Reader) (rows int, err error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("report: empty CSV")
+	}
+	for i, rec := range recs {
+		if len(rec) != len(recs[0]) {
+			return 0, fmt.Errorf("report: row %d has %d fields, header has %d",
+				i, len(rec), len(recs[0]))
+		}
+	}
+	return len(recs) - 1, nil
+}

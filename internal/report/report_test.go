@@ -1,0 +1,113 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/npb"
+	"repro/internal/tech"
+)
+
+func TestWriteLinkSweep(t *testing.T) {
+	pts, err := core.LinkSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLinkSweep(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Check(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != len(pts) {
+		t.Errorf("CSV rows %d, want %d", rows, len(pts))
+	}
+	if !strings.HasPrefix(buf.String(), "length_m,clear_Electronic,") {
+		t.Errorf("header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestWriteExploration(t *testing.T) {
+	o := core.DefaultOptions()
+	res, err := core.Explore([]core.DesignPoint{
+		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteExploration(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Check(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 {
+		t.Errorf("rows = %d", rows)
+	}
+	if !strings.Contains(buf.String(), "HyPPI,3") {
+		t.Error("design point missing from CSV")
+	}
+}
+
+func TestWriteTraceResults(t *testing.T) {
+	o := core.DefaultOptions()
+	k := npb.DefaultConfig(npb.LU)
+	k.Iterations = 1
+	res, err := core.RunTraceExperiment(k,
+		core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+		o, noc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceResults(&buf, []core.TraceResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LU,Electronic") {
+		t.Error("kernel row missing")
+	}
+}
+
+func TestWriteRadar(t *testing.T) {
+	radar, err := core.AllOpticalRadar(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRadar(&buf, radar); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Check(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Errorf("radar rows = %d, want 3", rows)
+	}
+	for _, corner := range []string{"electronic", "all_photonic", "all_hyppi"} {
+		if !strings.Contains(buf.String(), corner) {
+			t.Errorf("corner %s missing", corner)
+		}
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	if _, err := Check(strings.NewReader("")); err == nil {
+		t.Error("empty CSV must fail")
+	}
+	// csv.Reader already rejects ragged rows; verify the error surfaces.
+	if _, err := Check(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged CSV must fail")
+	}
+}

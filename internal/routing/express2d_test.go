@@ -1,0 +1,102 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func buildNet2D(t testing.TB, hops int) *topology.Network {
+	t.Helper()
+	c := topology.DefaultConfig()
+	c.ExpressHops = hops
+	c.ExpressTech = tech.HyPPI
+	c.ExpressBothDims = true
+	n, err := topology.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestExpress2DAllPairsReachable: both policies route every pair on the
+// two-dimensional express topologies, including the double torus.
+func TestExpress2DAllPairsReachable(t *testing.T) {
+	for _, hops := range []int{3, 5, 15} {
+		net := buildNet2D(t, hops)
+		for _, pol := range allPolicies() {
+			tab := MustBuild(net, pol)
+			for s := 0; s < net.NumNodes(); s++ {
+				for d := 0; d < net.NumNodes(); d++ {
+					src, dst := topology.NodeID(s), topology.NodeID(d)
+					path := tab.Path(src, dst)
+					at := src
+					for _, lid := range path {
+						if net.Links[lid].Src != at {
+							t.Fatalf("hops=%d %v: discontinuous %d->%d", hops, pol, s, d)
+						}
+						at = net.Links[lid].Dst
+					}
+					if at != dst {
+						t.Fatalf("hops=%d %v: %d->%d ends at %d", hops, pol, s, d, at)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExpress2DVerticalExpressUsed: column routes take vertical express
+// channels under the monotone policy.
+func TestExpress2DVerticalExpressUsed(t *testing.T) {
+	net := buildNet2D(t, 3)
+	tab := MustBuild(net, MonotoneExpress)
+	path := tab.Path(net.Node(2, 0), net.Node(2, 12))
+	if len(path) != 4 {
+		t.Fatalf("column express route hops = %d, want 4", len(path))
+	}
+	for _, lid := range path {
+		l := net.Links[lid]
+		if !l.Express || l.DY(net) != 3 {
+			t.Fatalf("expected vertical express strides, got link %+v", l)
+		}
+	}
+}
+
+// TestExpress2DXBeforeY: dimension order survives the 2-D extension.
+func TestExpress2DXBeforeY(t *testing.T) {
+	net := buildNet2D(t, 5)
+	tab := MustBuild(net, MonotoneExpress)
+	for _, pair := range [][2]topology.NodeID{
+		{net.Node(1, 2), net.Node(14, 13)},
+		{net.Node(15, 15), net.Node(0, 0)},
+		{net.Node(7, 3), net.Node(2, 11)},
+	} {
+		seenY := false
+		for _, lid := range tab.Path(pair[0], pair[1]) {
+			l := net.Links[lid]
+			if l.DY(net) != 0 {
+				seenY = true
+			} else if seenY {
+				t.Fatalf("X move after Y on %d->%d", pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestExpress2DDoubleTorusWraps: on the hops=15 double torus, the
+// corner-to-corner route is two wrap hops.
+func TestExpress2DDoubleTorusWraps(t *testing.T) {
+	net := buildNet2D(t, 15)
+	tab := MustBuild(net, MonotoneExpress)
+	path := tab.Path(net.Node(0, 0), net.Node(15, 15))
+	if len(path) != 2 {
+		t.Fatalf("double-wrap route hops = %d, want 2", len(path))
+	}
+	for _, lid := range path {
+		if !net.Links[lid].Dateline {
+			t.Fatalf("expected wrap channels, got %+v", net.Links[lid])
+		}
+	}
+}

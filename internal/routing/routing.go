@@ -1,0 +1,378 @@
+// Package routing builds oblivious routing tables for the paper's networks.
+//
+// Two policies are provided:
+//
+//   - MonotoneExpress (default): X-then-Y dimension-ordered routing where
+//     the X phase greedily takes an express channel whenever it is aligned
+//     with the travel direction and does not overshoot the destination
+//     column. Movement is monotone in each dimension, so the channel
+//     dependency graph is acyclic and the policy is deadlock-free — this is
+//     what the cycle-accurate simulator uses, mirroring the paper's hybrid
+//     router that "always uses electronics for basic routing" with express
+//     channels taken opportunistically.
+//
+//   - ShortestHops: per-destination BFS producing minimal hop counts like
+//     BookSim 2.0's anynet shortest-path tables (the simulator the paper
+//     matches its analytical routing against). Minimal paths may briefly
+//     travel away from the destination to reach an express on-ramp; ties
+//     prefer X movement (dimension order), then motion toward the
+//     destination, then lower link latency, then lower link ID, making the
+//     tables fully deterministic.
+//
+// Both are oblivious: the route depends only on (current node, destination).
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Policy selects the table construction algorithm.
+type Policy int
+
+const (
+	// MonotoneExpress is deadlock-free dimension-ordered express routing.
+	MonotoneExpress Policy = iota
+	// ShortestHops is BookSim-anynet-style minimal-hop BFS routing.
+	ShortestHops
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case MonotoneExpress:
+		return "MonotoneExpress"
+	case ShortestHops:
+		return "ShortestHops"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// noLink marks "at destination" entries.
+const noLink = topology.LinkID(-1)
+
+// Table holds, for every (node, destination) pair, the out-channel to take.
+type Table struct {
+	net    *topology.Network
+	policy Policy
+	next   [][]topology.LinkID // [node][dst]
+}
+
+// Build constructs a routing table for the network under the given policy.
+func Build(net *topology.Network, policy Policy) (*Table, error) {
+	nn := net.NumNodes()
+	t := &Table{
+		net:    net,
+		policy: policy,
+		next:   make([][]topology.LinkID, nn),
+	}
+	for i := range t.next {
+		t.next[i] = make([]topology.LinkID, nn)
+		for j := range t.next[i] {
+			t.next[i][j] = noLink
+		}
+	}
+	switch policy {
+	case MonotoneExpress:
+		t.buildMonotone()
+	case ShortestHops:
+		t.buildShortest()
+	default:
+		return nil, fmt.Errorf("routing: unknown policy %v", policy)
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(net *topology.Network, policy Policy) *Table {
+	t, err := Build(net, policy)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Net returns the network this table routes.
+func (t *Table) Net() *topology.Network { return t.net }
+
+// Policy returns the construction policy.
+func (t *Table) Policy() Policy { return t.policy }
+
+// dirLink is an X channel usable in one ring direction with a given stride.
+type dirLink struct {
+	stride int
+	id     topology.LinkID
+}
+
+// buildMonotone constructs the dimension-ordered table. Each dimension's
+// phase routes on its row/column treated as a line (plain and short-hop
+// configurations) or a ring (row/column-closure express channels double as
+// wraparounds): both ring directions are walked greedily (largest aligned,
+// non-overshooting stride first) and the shorter feasible one wins, ties
+// avoiding the dateline, then going in the positive direction. Movement
+// never mixes ring directions within a phase, so with dateline VC switching
+// on wrap channels the policy is deadlock-free. X completes before Y.
+func (t *Table) buildMonotone() {
+	net := t.net
+	nn := net.NumNodes()
+	// Role lists per node: positive/negative X, positive/negative Y.
+	east := make([][]dirLink, nn)
+	west := make([][]dirLink, nn)
+	south := make([][]dirLink, nn) // +Y (grid rows grow southward)
+	north := make([][]dirLink, nn)
+	addRole := func(m [][]dirLink, at topology.NodeID, stride int, id topology.LinkID) {
+		// Keep role lists sorted by descending stride; on ties the
+		// lower link ID (base before express) wins.
+		ls := m[at]
+		pos := len(ls)
+		for i, d := range ls {
+			if stride > d.stride {
+				pos = i
+				break
+			}
+		}
+		ls = append(ls, dirLink{})
+		copy(ls[pos+1:], ls[pos:])
+		ls[pos] = dirLink{stride: stride, id: id}
+		m[at] = ls
+	}
+	for _, l := range net.Links {
+		if dx := l.DX(net); dx != 0 {
+			if dx > 0 {
+				addRole(east, l.Src, dx, l.ID)
+				if l.Dateline {
+					addRole(west, l.Src, net.Width-dx, l.ID)
+				}
+			} else {
+				addRole(west, l.Src, -dx, l.ID)
+				if l.Dateline {
+					addRole(east, l.Src, net.Width+dx, l.ID)
+				}
+			}
+			continue
+		}
+		if dy := l.DY(net); dy != 0 {
+			if dy > 0 {
+				addRole(south, l.Src, dy, l.ID)
+				if l.Dateline {
+					addRole(north, l.Src, net.Height-dy, l.ID)
+				}
+			} else {
+				addRole(north, l.Src, -dy, l.ID)
+				if l.Dateline {
+					addRole(south, l.Src, net.Height+dy, l.ID)
+				}
+			}
+		}
+	}
+
+	// walk greedily follows one direction's role links from at; returns
+	// hop count, the first link, and whether the path crosses a dateline
+	// (wrap), or hops = -1 if the direction is infeasible (line topology,
+	// path would cross the end).
+	maxHops := net.Width + net.Height
+	walk := func(at topology.NodeID, roles [][]dirLink, remaining int) (int, topology.LinkID, bool) {
+		first := noLink
+		hops := 0
+		wraps := false
+		for remaining > 0 {
+			var chosen topology.LinkID = noLink
+			stride := 0
+			for _, d := range roles[at] {
+				if d.stride <= remaining {
+					chosen = d.id
+					stride = d.stride
+					break
+				}
+			}
+			if chosen == noLink {
+				return -1, noLink, false
+			}
+			if first == noLink {
+				first = chosen
+			}
+			if net.Links[chosen].Dateline {
+				wraps = true
+			}
+			at = net.Links[chosen].Dst
+			remaining -= stride
+			hops++
+			if hops > maxHops {
+				return -1, noLink, false // defensive: cannot happen
+			}
+		}
+		return hops, first, wraps
+	}
+
+	// pick chooses between the two ring directions of one dimension.
+	pick := func(at topology.NodeID, pos, neg [][]dirLink, remPos, remNeg int) topology.LinkID {
+		ph, pl, pw := walk(at, pos, remPos)
+		nh, nl, nw := walk(at, neg, remNeg)
+		switch {
+		case ph < 0 && nh < 0:
+			return noLink // cannot happen on built topologies
+		case nh < 0:
+			return pl
+		case ph < 0:
+			return nl
+		case ph < nh, ph == nh && (!pw || nw):
+			return pl
+		default:
+			return nl
+		}
+	}
+
+	for at := 0; at < nn; at++ {
+		atN := topology.NodeID(at)
+		ax, ay := net.X(atN), net.Y(atN)
+		for dst := 0; dst < nn; dst++ {
+			if at == dst {
+				continue
+			}
+			dstN := topology.NodeID(dst)
+			dx, dy := net.X(dstN), net.Y(dstN)
+			switch {
+			case ax != dx:
+				remE := ((dx-ax)%net.Width + net.Width) % net.Width
+				t.next[at][dst] = pick(atN, east, west, remE, net.Width-remE)
+			case ay != dy:
+				remS := ((dy-ay)%net.Height + net.Height) % net.Height
+				t.next[at][dst] = pick(atN, south, north, remS, net.Height-remS)
+			}
+		}
+	}
+}
+
+func (t *Table) buildShortest() {
+	net := t.net
+	nn := net.NumNodes()
+	// Per destination: reverse BFS for hop distances, then pick the
+	// tie-broken minimal successor at every node.
+	dist := make([]int, nn)
+	queue := make([]topology.NodeID, 0, nn)
+	for d := 0; d < nn; d++ {
+		dstN := topology.NodeID(d)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[d] = 0
+		queue = queue[:0]
+		queue = append(queue, dstN)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, lid := range net.InLinks(v) {
+				u := net.Links[lid].Src
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		for at := 0; at < nn; at++ {
+			if at == d {
+				continue
+			}
+			t.next[at][d] = t.shortestNext(topology.NodeID(at), dstN, dist)
+		}
+	}
+}
+
+// rank orders candidate next-hops for the ShortestHops tie-break.
+type rank struct {
+	isY, away, latency, id int
+}
+
+func (a rank) less(b rank) bool {
+	if a.isY != b.isY {
+		return a.isY < b.isY
+	}
+	if a.away != b.away {
+		return a.away < b.away
+	}
+	if a.latency != b.latency {
+		return a.latency < b.latency
+	}
+	return a.id < b.id
+}
+
+// shortestNext picks among the minimal-distance successors of at using the
+// deterministic tie-break chain: X movement first, then movement toward the
+// destination in that dimension, then lower link latency, then lower ID.
+func (t *Table) shortestNext(at, dst topology.NodeID, dist []int) topology.LinkID {
+	net := t.net
+	best := noLink
+	var bestRank rank
+	for _, lid := range net.OutLinks(at) {
+		l := net.Links[lid]
+		if dist[l.Dst] != dist[at]-1 {
+			continue
+		}
+		r := rank{latency: l.LatencyClks, id: int(lid)}
+		if l.DX(net) == 0 {
+			r.isY = 1
+			want := net.Y(dst) - net.Y(at)
+			if want*l.DY(net) < 0 {
+				r.away = 1
+			}
+		} else {
+			want := net.X(dst) - net.X(at)
+			if want*l.DX(net) < 0 {
+				r.away = 1
+			}
+		}
+		if best == noLink || r.less(bestRank) {
+			best = lid
+			bestRank = r
+		}
+	}
+	return best
+}
+
+// NextLink returns the out-channel to take at `at` heading for `dst`, or
+// -1 when at == dst.
+func (t *Table) NextLink(at, dst topology.NodeID) topology.LinkID {
+	return t.next[at][dst]
+}
+
+// Path returns the channel sequence from src to dst (empty for src == dst).
+func (t *Table) Path(src, dst topology.NodeID) []topology.LinkID {
+	if src == dst {
+		return nil
+	}
+	var path []topology.LinkID
+	at := src
+	for at != dst {
+		lid := t.next[at][dst]
+		if lid == noLink {
+			panic(fmt.Sprintf("routing: no route %d -> %d at %d", src, dst, at))
+		}
+		path = append(path, lid)
+		at = t.net.Links[lid].Dst
+		if len(path) > t.net.NumNodes() {
+			panic(fmt.Sprintf("routing: path %d -> %d exceeds node count; table is cyclic", src, dst))
+		}
+	}
+	return path
+}
+
+// HopCount returns the number of channels on the route.
+func (t *Table) HopCount(src, dst topology.NodeID) int {
+	return len(t.Path(src, dst))
+}
+
+// LatencyClks returns the zero-load head latency of the route: one router
+// pipeline traversal plus the channel latency per hop, plus the final
+// router traversal at the destination for ejection.
+func (t *Table) LatencyClks(src, dst topology.NodeID, routerPipelineClks int) int {
+	if src == dst {
+		return routerPipelineClks
+	}
+	total := 0
+	for _, lid := range t.Path(src, dst) {
+		total += routerPipelineClks + t.net.Links[lid].LatencyClks
+	}
+	return total + routerPipelineClks
+}

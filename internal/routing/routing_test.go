@@ -1,0 +1,344 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func buildNet(t testing.TB, hops int, expressTech tech.Technology) *topology.Network {
+	t.Helper()
+	c := topology.DefaultConfig()
+	c.ExpressHops = hops
+	c.ExpressTech = expressTech
+	n, err := topology.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func allPolicies() []Policy { return []Policy{MonotoneExpress, ShortestHops} }
+
+// TestAllPairsReachable: every (src, dst) pair must have a terminating route
+// under every policy and topology.
+func TestAllPairsReachable(t *testing.T) {
+	for _, hops := range []int{0, 3, 5, 15} {
+		net := buildNet(t, hops, tech.HyPPI)
+		for _, pol := range allPolicies() {
+			tab := MustBuild(net, pol)
+			for s := 0; s < net.NumNodes(); s++ {
+				for d := 0; d < net.NumNodes(); d++ {
+					src, dst := topology.NodeID(s), topology.NodeID(d)
+					path := tab.Path(src, dst)
+					if s == d && len(path) != 0 {
+						t.Fatalf("hops=%d %v: self path not empty", hops, pol)
+					}
+					if s != d && len(path) == 0 {
+						t.Fatalf("hops=%d %v: %d->%d unreachable", hops, pol, s, d)
+					}
+					// Path must be connected and end at dst.
+					at := src
+					for _, lid := range path {
+						l := net.Links[lid]
+						if l.Src != at {
+							t.Fatalf("hops=%d %v: discontinuous path %d->%d", hops, pol, s, d)
+						}
+						at = l.Dst
+					}
+					if at != dst {
+						t.Fatalf("hops=%d %v: path %d->%d ends at %d", hops, pol, s, d, at)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlainMeshIsXY: on the plain mesh both policies reduce to X-then-Y
+// dimension-ordered routing with exactly Manhattan-distance hops.
+func TestPlainMeshIsXY(t *testing.T) {
+	net := buildNet(t, 0, tech.Electronic)
+	for _, pol := range allPolicies() {
+		tab := MustBuild(net, pol)
+		src, dst := net.Node(2, 3), net.Node(7, 9)
+		path := tab.Path(src, dst)
+		if len(path) != net.MeshDistance(src, dst) {
+			t.Fatalf("%v: hops %d, want %d", pol, len(path), net.MeshDistance(src, dst))
+		}
+		// X moves must all come before Y moves.
+		seenY := false
+		for _, lid := range path {
+			l := net.Links[lid]
+			if l.DY(net) != 0 {
+				seenY = true
+			} else if seenY {
+				t.Fatalf("%v: X move after Y move (not dimension ordered)", pol)
+			}
+		}
+	}
+}
+
+// TestShortestHopsIsMinimal: BFS hop counts can never exceed the monotone
+// policy's, and on the plain mesh both equal Manhattan distance.
+func TestShortestHopsIsMinimal(t *testing.T) {
+	net := buildNet(t, 3, tech.HyPPI)
+	mono := MustBuild(net, MonotoneExpress)
+	bfs := MustBuild(net, ShortestHops)
+	for s := 0; s < net.NumNodes(); s++ {
+		for d := 0; d < net.NumNodes(); d++ {
+			src, dst := topology.NodeID(s), topology.NodeID(d)
+			if bfs.HopCount(src, dst) > mono.HopCount(src, dst) {
+				t.Fatalf("BFS longer than monotone for %d->%d: %d > %d",
+					s, d, bfs.HopCount(src, dst), mono.HopCount(src, dst))
+			}
+		}
+	}
+}
+
+// TestExpressShortensLongRoutes: a row-end to row-end route must use express
+// channels and beat the 15-hop local path.
+func TestExpressShortensLongRoutes(t *testing.T) {
+	net := buildNet(t, 5, tech.HyPPI)
+	for _, pol := range allPolicies() {
+		tab := MustBuild(net, pol)
+		src, dst := net.Node(0, 4), net.Node(15, 4)
+		path := tab.Path(src, dst)
+		if len(path) != 3 {
+			t.Errorf("%v: 0->15 via h=5 express should be 3 hops, got %d", pol, len(path))
+		}
+		express := 0
+		for _, lid := range path {
+			if net.Links[lid].Express {
+				express++
+			}
+		}
+		if express != 3 {
+			t.Errorf("%v: want 3 express hops, got %d", pol, express)
+		}
+	}
+}
+
+// TestMonotoneNeverBacktracks: under MonotoneExpress the X phase sticks to
+// one ring direction with strictly decreasing ring distance (wrap channels
+// count as stride-1 ring moves), and the Y phase is strictly monotone —
+// together with dateline VC classes this is the deadlock-freedom invariant.
+func TestMonotoneNeverBacktracks(t *testing.T) {
+	for _, hops := range []int{3, 5, 15} {
+		net := buildNet(t, hops, tech.HyPPI)
+		tab := MustBuild(net, MonotoneExpress)
+		w := net.Width
+		ringDist := func(from, to, dir int) int {
+			if dir > 0 {
+				return ((to-from)%w + w) % w
+			}
+			return ((from-to)%w + w) % w
+		}
+		for s := 0; s < net.NumNodes(); s++ {
+			for d := 0; d < net.NumNodes(); d++ {
+				if s == d {
+					continue
+				}
+				src, dst := topology.NodeID(s), topology.NodeID(d)
+				at := src
+				xDir := 0 // ring direction chosen by the first X move
+				for _, lid := range tab.Path(src, dst) {
+					l := net.Links[lid]
+					if dy := l.DY(net); dy != 0 {
+						wantY := net.Y(dst) - net.Y(at)
+						if dy*wantY <= 0 {
+							t.Fatalf("hops=%d: backtrack in Y on %d->%d at %d", hops, s, d, at)
+						}
+						at = l.Dst
+						continue
+					}
+					fx, tx := net.X(at), net.X(l.Dst)
+					if xDir == 0 {
+						// Infer the direction of the first move: the one
+						// in which this move reduces distance to dstX.
+						if ringDist(tx, net.X(dst), +1) < ringDist(fx, net.X(dst), +1) {
+							xDir = +1
+						} else {
+							xDir = -1
+						}
+					}
+					before := ringDist(fx, net.X(dst), xDir)
+					after := ringDist(tx, net.X(dst), xDir)
+					if after >= before {
+						t.Fatalf("hops=%d: X move not monotone in chosen ring direction on %d->%d at %d (dir %d: %d -> %d)",
+							hops, s, d, at, xDir, before, after)
+					}
+					at = l.Dst
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneIsXThenY: the monotone policy finishes all X movement before
+// any Y movement.
+func TestMonotoneIsXThenY(t *testing.T) {
+	net := buildNet(t, 3, tech.HyPPI)
+	tab := MustBuild(net, MonotoneExpress)
+	f := func(rawS, rawD uint16) bool {
+		s := topology.NodeID(int(rawS) % net.NumNodes())
+		d := topology.NodeID(int(rawD) % net.NumNodes())
+		seenY := false
+		for _, lid := range tab.Path(s, d) {
+			l := net.Links[lid]
+			if l.DY(net) != 0 {
+				seenY = true
+			} else if seenY {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBFSUsesBackdoorExpress: from column 1 to the far end with h=5 the
+// minimal path detours through the express on-ramp at column 0 — this is
+// the shortest-path behaviour that distinguishes BFS from monotone routing.
+func TestBFSUsesBackdoorExpress(t *testing.T) {
+	net := buildNet(t, 5, tech.HyPPI)
+	bfs := MustBuild(net, ShortestHops)
+	mono := MustBuild(net, MonotoneExpress)
+	src, dst := net.Node(1, 8), net.Node(15, 8)
+	// BFS: 1->0 (1) + 0->5->10->15 express (3) = 4 hops.
+	if got := bfs.HopCount(src, dst); got != 4 {
+		t.Errorf("BFS hops = %d, want 4 (backtrack to express ramp)", got)
+	}
+	// Monotone: 1..5 local (4) + 5->10->15 express (2) = 6 hops.
+	if got := mono.HopCount(src, dst); got != 6 {
+		t.Errorf("monotone hops = %d, want 6", got)
+	}
+}
+
+// TestLatencyClks checks the zero-load latency model: router pipeline per
+// hop plus channel latency, plus the ejection router.
+func TestLatencyClks(t *testing.T) {
+	net := buildNet(t, 3, tech.HyPPI)
+	tab := MustBuild(net, MonotoneExpress)
+	const pipe = 3
+	// Neighbour route, one electronic hop: 3 + 1 + 3 = 7.
+	if got := tab.LatencyClks(net.Node(0, 0), net.Node(1, 0), pipe); got != 7 {
+		t.Errorf("1-hop latency = %d, want 7", got)
+	}
+	// One express hop 0->3 (optical, 2 clks): 3 + 2 + 3 = 8.
+	if got := tab.LatencyClks(net.Node(0, 0), net.Node(3, 0), pipe); got != 8 {
+		t.Errorf("express-hop latency = %d, want 8", got)
+	}
+	// Self route: just the local router.
+	if got := tab.LatencyClks(net.Node(5, 5), net.Node(5, 5), pipe); got != pipe {
+		t.Errorf("self latency = %d, want %d", got, pipe)
+	}
+}
+
+// TestOpticalExpressLatencyTradeoff: with h=3 HyPPI express, a 3-column move
+// is 1 optical hop (3+2) vs 3 electronic hops (3×(3+1)); the optical route
+// must win, matching the paper's premise that express links pay off despite
+// the O-E conversion cycle.
+func TestOpticalExpressLatencyTradeoff(t *testing.T) {
+	net := buildNet(t, 3, tech.HyPPI)
+	plain := buildNet(t, 0, tech.Electronic)
+	tabE := MustBuild(net, MonotoneExpress)
+	tabP := MustBuild(plain, MonotoneExpress)
+	const pipe = 3
+	src, dst := net.Node(0, 0), net.Node(12, 0)
+	withExpress := tabE.LatencyClks(src, dst, pipe)
+	without := tabP.LatencyClks(src, dst, pipe)
+	// 4 express hops: 4*(3+2)+3 = 23; 12 local hops: 12*(3+1)+3 = 51.
+	if withExpress != 23 || without != 51 {
+		t.Errorf("latencies %d / %d, want 23 / 51", withExpress, without)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	net := buildNet(t, 3, tech.Photonic)
+	a := MustBuild(net, ShortestHops)
+	b := MustBuild(net, ShortestHops)
+	for s := 0; s < net.NumNodes(); s++ {
+		for d := 0; d < net.NumNodes(); d++ {
+			if a.NextLink(topology.NodeID(s), topology.NodeID(d)) != b.NextLink(topology.NodeID(s), topology.NodeID(d)) {
+				t.Fatalf("nondeterministic table at %d->%d", s, d)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsUnknownPolicy(t *testing.T) {
+	net := buildNet(t, 0, tech.Electronic)
+	if _, err := Build(net, Policy(9)); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if MonotoneExpress.String() != "MonotoneExpress" || ShortestHops.String() != "ShortestHops" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+// TestHopCountSymmetryProperty: both policies route symmetric topologies
+// with symmetric hop counts (path reversal exists since every channel has a
+// reverse twin).
+func TestHopCountSymmetryProperty(t *testing.T) {
+	net := buildNet(t, 5, tech.HyPPI)
+	for _, pol := range allPolicies() {
+		tab := MustBuild(net, pol)
+		f := func(rawS, rawD uint16) bool {
+			s := topology.NodeID(int(rawS) % net.NumNodes())
+			d := topology.NodeID(int(rawD) % net.NumNodes())
+			return tab.HopCount(s, d) == tab.HopCount(d, s)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", pol, err)
+		}
+	}
+}
+
+// TestExpressNeverLengthensRoutes: adding express channels can only shorten
+// or preserve hop counts relative to the plain mesh, for both policies.
+func TestExpressNeverLengthensRoutes(t *testing.T) {
+	plain := buildNet(t, 0, tech.Electronic)
+	for _, hops := range []int{3, 5, 15} {
+		express := buildNet(t, hops, tech.HyPPI)
+		for _, pol := range allPolicies() {
+			pt := MustBuild(plain, pol)
+			et := MustBuild(express, pol)
+			for s := 0; s < plain.NumNodes(); s++ {
+				for d := 0; d < plain.NumNodes(); d++ {
+					src, dst := topology.NodeID(s), topology.NodeID(d)
+					if et.HopCount(src, dst) > pt.HopCount(src, dst) {
+						t.Fatalf("hops=%d %v: express lengthened %d->%d: %d > %d",
+							hops, pol, s, d, et.HopCount(src, dst), pt.HopCount(src, dst))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneHopsBoundedByManhattanProperty: on non-wrap topologies the
+// monotone policy never exceeds the Manhattan distance (express strides
+// only replace local runs).
+func TestMonotoneHopsBoundedByManhattanProperty(t *testing.T) {
+	net := buildNet(t, 3, tech.HyPPI)
+	tab := MustBuild(net, MonotoneExpress)
+	f := func(rawS, rawD uint16) bool {
+		s := topology.NodeID(int(rawS) % net.NumNodes())
+		d := topology.NodeID(int(rawD) % net.NumNodes())
+		return tab.HopCount(s, d) <= net.MeshDistance(s, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package stats provides the small measurement toolkit used across the
+// experiments: streaming summaries (mean/min/max), exact quantiles over
+// recorded samples, fixed-width histograms for latency distributions, and
+// plain-text table rendering for the command-line tools.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates streaming scalar statistics without storing samples.
+type Summary struct {
+	n          int64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 for empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min and Max return the extremes (0 for empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the population variance (0 for fewer than two samples).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		return 0 // float cancellation guard
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Sample stores values for exact quantile queries.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one value.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// N returns the number of recorded values.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// between closest ranks; 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	pos := q * float64(len(s.vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := pos - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Histogram counts samples into fixed-width bins over [lo, hi); samples
+// outside the range land in the boundary bins.
+type Histogram struct {
+	lo, width float64
+	counts    []int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with bins fixed-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, bins)
+	}
+	return &Histogram{lo: lo, width: (hi - lo) / float64(bins), counts: make([]int64, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) int64 { return h.counts[i] }
+
+// Bins returns the bin count.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// BinRange returns the [lo, hi) interval of bin i.
+func (h *Histogram) BinRange(i int) (float64, float64) {
+	return h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}
+
+// Render draws a proportional ASCII bar chart, one line per non-empty bin.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var peak int64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BinRange(i)
+		bar := int(float64(width) * float64(c) / float64(peak))
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%10.1f–%-10.1f %8d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Table renders aligned plain-text tables for the CLI tools.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if l := len([]rune(c)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

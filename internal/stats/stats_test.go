@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.N() != 0 || s.Variance() != 0 {
+		t.Error("empty summary must be zero-valued")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Known population stddev of this classic dataset is 2.
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", s.StdDev())
+	}
+}
+
+func TestSummaryVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Summary
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound magnitudes to avoid float overflow in sumSq.
+			s.Add(math.Mod(v, 1e6))
+		}
+		return s.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty sample quantile must be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.25, 25.75}, {0.99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Q(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestSampleQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(rng.NormFloat64() * 10)
+	}
+	f := func(rawA, rawB float64) bool {
+		a := math.Mod(math.Abs(rawA), 1)
+		b := math.Mod(math.Abs(rawB), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return s.Quantile(a) <= s.Quantile(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleAddAfterQuantile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	if s.Quantile(0.5) != 10 {
+		t.Error("single sample median")
+	}
+	s.Add(0) // must re-sort
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("Q(0) after late add = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(-5)  // clamps into bin 0
+	h.Add(500) // clamps into last bin
+	if h.Total() != 102 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Bin(0) != 11 { // 0..9 plus the clamped -5
+		t.Errorf("bin 0 = %d, want 11", h.Bin(0))
+	}
+	if h.Bin(9) != 11 { // 90..99 plus the clamped 500
+		t.Errorf("bin 9 = %d, want 11", h.Bin(9))
+	}
+	lo, hi := h.BinRange(3)
+	if lo != 30 || hi != 40 {
+		t.Errorf("bin 3 range [%v,%v)", lo, hi)
+	}
+	if h.Bins() != 10 {
+		t.Errorf("bins = %d", h.Bins())
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Error("render should draw bars")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 10); err == nil {
+		t.Error("hi <= lo must fail")
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+}
+
+func TestHistogramEmptyRender(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if got := h.Render(10); got != "(empty)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestHistogramConservesSamplesProperty(t *testing.T) {
+	h, _ := NewHistogram(-50, 50, 7)
+	f := func(vs []float64) bool {
+		before := h.Total()
+		n := int64(0)
+		for _, v := range vs {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		var binSum int64
+		for i := 0; i < h.Bins(); i++ {
+			binSum += h.Bin(i)
+		}
+		return h.Total() == before+n && binSum == h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("kernel", "latency", "speedup")
+	tb.AddRow("CG", "142.0", "1.29x")
+	tb.AddRow("LU", "14.0") // short row padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "kernel") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "CG") || !strings.Contains(lines[2], "1.29x") {
+		t.Errorf("row line %q", lines[2])
+	}
+	// Columns align: "latency" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "latency")
+	if !strings.HasPrefix(lines[2][idx:], "142.0") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}

@@ -1,0 +1,426 @@
+// Package tech is the technology catalogue for the HyPPI NoC study.
+//
+// It transcribes Table I of the paper (photonic, plasmonic and HyPPI device
+// parameters) and the ITRS-style 14 nm electronic wire parameters used for
+// the bare link-level comparison, and defines the Technology enumeration
+// every other package keys on.
+//
+// Two data-rate figures exist per optical technology: the *bare* modulator
+// speed (what the device supports, e.g. 2.1 Tb/s for the HyPPI modulator)
+// and the *system* rate capped by driver/SERDES electronics (50 Gb/s in the
+// paper's NoC experiments). Both are carried explicitly so the link-level
+// and system-level evaluations cannot be accidentally mixed.
+package tech
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Technology identifies one of the four interconnect technologies the paper
+// explores.
+type Technology int
+
+const (
+	// Electronic is a repeated CMOS wire (ITRS 14 nm at link level,
+	// DSENT 11 nm at system level).
+	Electronic Technology = iota
+	// Photonic is conventional silicon nanophotonics with microring
+	// modulators and ring drop filters.
+	Photonic
+	// Plasmonic is a pure surface-plasmon link on a metal waveguide.
+	Plasmonic
+	// HyPPI combines a plasmonic MOS modulator with a low-loss photonic
+	// SOI waveguide (the paper's contribution).
+	HyPPI
+)
+
+// Technologies lists all four options in presentation order.
+var Technologies = []Technology{Electronic, Photonic, Plasmonic, HyPPI}
+
+// OpticalTechnologies lists only the light-based options (Table I columns).
+var OpticalTechnologies = []Technology{Photonic, Plasmonic, HyPPI}
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case Electronic:
+		return "Electronic"
+	case Photonic:
+		return "Photonic"
+	case Plasmonic:
+		return "Plasmonic"
+	case HyPPI:
+		return "HyPPI"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// IsOptical reports whether the technology carries data as light and hence
+// needs E-O / O-E conversion at router boundaries.
+func (t Technology) IsOptical() bool {
+	return t == Photonic || t == Plasmonic || t == HyPPI
+}
+
+// ParseTechnology converts a case-sensitive name (as printed by String) into
+// a Technology.
+func ParseTechnology(s string) (Technology, error) {
+	switch s {
+	case "Electronic", "electronic", "E":
+		return Electronic, nil
+	case "Photonic", "photonic", "P":
+		return Photonic, nil
+	case "Plasmonic", "plasmonic":
+		return Plasmonic, nil
+	case "HyPPI", "hyppi", "H":
+		return HyPPI, nil
+	}
+	return 0, fmt.Errorf("tech: unknown technology %q", s)
+}
+
+// Laser describes the on-chip laser source of an optical link (Table I,
+// "Laser" rows).
+type Laser struct {
+	// EfficiencyPct is the wall-plug efficiency in percent.
+	EfficiencyPct float64
+	// AreaUM2 is the on-chip footprint in µm².
+	AreaUM2 float64
+}
+
+// Modulator describes the E-O conversion device (Table I, "Modulator" rows).
+type Modulator struct {
+	// BareSpeedGbps is the speed the device itself supports (Gb/s).
+	BareSpeedGbps float64
+	// SystemSpeedGbps is the speed usable once driver/SERDES electronics
+	// are accounted for — the parenthesized values in Table I (Gb/s).
+	SystemSpeedGbps float64
+	// EnergyFJPerBit is the bare-link modulation energy (fJ/bit). At the
+	// system level this is recomputed by the dsent package.
+	EnergyFJPerBit float64
+	// InsertionLossDB is the optical loss through the modulator (dB).
+	InsertionLossDB float64
+	// ExtinctionRatioDB is the on/off optical contrast (dB).
+	ExtinctionRatioDB float64
+	// AreaUM2 is the device footprint in µm².
+	AreaUM2 float64
+	// CapacitanceFF is the electrical device capacitance (fF).
+	CapacitanceFF float64
+	// BiasVoltageMinV and BiasVoltageMaxV bound the drive voltage (V).
+	BiasVoltageMinV, BiasVoltageMaxV float64
+}
+
+// Photodetector describes the O-E conversion device (Table I,
+// "Photodetector" rows).
+type Photodetector struct {
+	// SpeedGbps is the detector bandwidth in Gb/s (the first of the
+	// "50/700"-style pairs in Table I; the second is the intrinsic device
+	// limit kept in IntrinsicSpeedGbps).
+	SpeedGbps          float64
+	IntrinsicSpeedGbps float64
+	// EnergyFJPerBit is the receiver energy (fJ/bit) at bare-link level.
+	EnergyFJPerBit float64
+	// ResponsivityAPerW converts received optical power to photocurrent.
+	ResponsivityAPerW float64
+	// AreaUM2 is the device footprint in µm².
+	AreaUM2 float64
+}
+
+// Waveguide describes the passive propagation medium (Table I, "Waveguide"
+// rows).
+type Waveguide struct {
+	// PropagationLossDBPerCM is the distance-proportional loss (dB/cm).
+	PropagationLossDBPerCM float64
+	// CouplingLossDB is the fixed loss coupling into/out of the guide
+	// (per link, dB). Zero for conventional photonics in Table I.
+	CouplingLossDB float64
+	// PitchUM is the centre-to-centre spacing needed between adjacent
+	// waveguides (µm); it dominates link area.
+	PitchUM float64
+	// WidthUM is the guide width (µm).
+	WidthUM float64
+	// GroupIndex sets the propagation velocity c/GroupIndex.
+	GroupIndex float64
+}
+
+// OpticalParams bundles the four device sections of Table I for one optical
+// technology.
+type OpticalParams struct {
+	Tech      Technology
+	Laser     Laser
+	Modulator Modulator
+	Detector  Photodetector
+	Waveguide Waveguide
+	// DetectorSensitivityW is the received optical power needed at a
+	// 10 Gb/s reference rate for the target BER; scaled linearly with
+	// data rate by the link model. Derived, not from Table I.
+	DetectorSensitivityW float64
+}
+
+// ElectronicParams describes a repeated on-chip wire at the ITRS 14 nm node,
+// used for the bare link comparison (the paper borrows these from the ITRS
+// roadmap / Chen et al.).
+type ElectronicParams struct {
+	// WireWidthUM and WireSpacingUM give the per-wire pitch; the paper
+	// quotes 160 nm width with 160 nm spacing so a 64-bit link is ≈20 µm
+	// wide.
+	WireWidthUM, WireSpacingUM float64
+	// PerWireRateGbps is the signalling rate of one wire (the NoC runs
+	// 64 wires at 0.78125 GHz; a serialized point-to-point wire can be
+	// driven faster and the bare comparison uses this value).
+	PerWireRateGbps float64
+	// EnergyFJPerBitPerMM is the repeated-wire dynamic energy slope.
+	EnergyFJPerBitPerMM float64
+	// FixedEnergyFJPerBit is the driver/receiver energy independent of
+	// length.
+	FixedEnergyFJPerBit float64
+	// DelayPSPerMM is the repeated-wire latency slope.
+	DelayPSPerMM float64
+	// FixedDelayPS is the TX/RX latency independent of length.
+	FixedDelayPS float64
+	// RepeaterAreaUM2PerMM is silicon area spent on repeaters per wire
+	// per mm.
+	RepeaterAreaUM2PerMM float64
+	// StaticPowerUWPerMM is repeater leakage per wire per mm (µW/mm).
+	StaticPowerUWPerMM float64
+}
+
+// PhotonicTableI returns the "Photonic" column of Table I.
+func PhotonicTableI() OpticalParams {
+	return OpticalParams{
+		Tech: Photonic,
+		Laser: Laser{
+			EfficiencyPct: 25,
+			AreaUM2:       200,
+		},
+		Modulator: Modulator{
+			BareSpeedGbps:     25,
+			SystemSpeedGbps:   25,
+			EnergyFJPerBit:    2.77,
+			InsertionLossDB:   1.02,
+			ExtinctionRatioDB: 6.18,
+			AreaUM2:           100,
+			CapacitanceFF:     16,
+			BiasVoltageMinV:   -2.2,
+			BiasVoltageMaxV:   0.4,
+		},
+		Detector: Photodetector{
+			SpeedGbps:          40,
+			IntrinsicSpeedGbps: 40,
+			EnergyFJPerBit:     0,
+			ResponsivityAPerW:  0.8,
+			AreaUM2:            100,
+		},
+		Waveguide: Waveguide{
+			PropagationLossDBPerCM: 1,
+			CouplingLossDB:         0,
+			PitchUM:                4,
+			WidthUM:                0.35,
+			GroupIndex:             4.2,
+		},
+		DetectorSensitivityW: defaultSensitivityW,
+	}
+}
+
+// PlasmonicTableI returns the "Plasmonic" column of Table I.
+func PlasmonicTableI() OpticalParams {
+	return OpticalParams{
+		Tech: Plasmonic,
+		Laser: Laser{
+			EfficiencyPct: 20,
+			AreaUM2:       0.003,
+		},
+		Modulator: Modulator{
+			BareSpeedGbps:     59,
+			SystemSpeedGbps:   50,
+			EnergyFJPerBit:    6.8,
+			InsertionLossDB:   1.1,
+			ExtinctionRatioDB: 17,
+			AreaUM2:           4,
+			CapacitanceFF:     14,
+			BiasVoltageMinV:   0.7,
+			BiasVoltageMaxV:   0.7,
+		},
+		Detector: Photodetector{
+			SpeedGbps:          50,
+			IntrinsicSpeedGbps: 700,
+			EnergyFJPerBit:     0.14,
+			ResponsivityAPerW:  0.1,
+			AreaUM2:            4,
+		},
+		Waveguide: Waveguide{
+			PropagationLossDBPerCM: 440,
+			CouplingLossDB:         0.63,
+			PitchUM:                0.5,
+			WidthUM:                0.1,
+			GroupIndex:             2.5,
+		},
+		DetectorSensitivityW: defaultSensitivityW,
+	}
+}
+
+// HyPPITableI returns the "HyPPI" column of Table I.
+func HyPPITableI() OpticalParams {
+	return OpticalParams{
+		Tech: HyPPI,
+		Laser: Laser{
+			EfficiencyPct: 20,
+			AreaUM2:       0.003,
+		},
+		Modulator: Modulator{
+			BareSpeedGbps:     2100,
+			SystemSpeedGbps:   50,
+			EnergyFJPerBit:    4.25,
+			InsertionLossDB:   0.6,
+			ExtinctionRatioDB: 12,
+			AreaUM2:           1,
+			CapacitanceFF:     0.94,
+			BiasVoltageMinV:   2,
+			BiasVoltageMaxV:   3,
+		},
+		Detector: Photodetector{
+			SpeedGbps:          50,
+			IntrinsicSpeedGbps: 700,
+			EnergyFJPerBit:     0.14,
+			ResponsivityAPerW:  0.1,
+			AreaUM2:            4,
+		},
+		Waveguide: Waveguide{
+			// HyPPI propagates on a conventional photonic SOI guide.
+			PropagationLossDBPerCM: 1,
+			CouplingLossDB:         1,
+			PitchUM:                1,
+			WidthUM:                0.35,
+			GroupIndex:             4.2,
+		},
+		DetectorSensitivityW: defaultSensitivityW,
+	}
+}
+
+// defaultSensitivityW is the required received optical power at the 10 Gb/s
+// reference rate (-28 dBm), an aggressive low-noise on-chip receiver; the
+// link model scales it linearly with data rate. This single constant is the
+// calibration knob that sizes every laser in the repository; it is chosen so
+// the system-level static power of HyPPI and photonic express links lands on
+// the paper's Table IV values (≈ 94 µW and ≈ 9.7 mW per link respectively).
+const defaultSensitivityW = 1.6e-6
+
+// ElectronicITRS14 returns the repeated-wire parameters for the bare link
+// comparison at the ITRS 14 nm node: a low-swing repeated wire driven at the
+// rate a short serial on-chip link sustains. The fixed driver cost is tiny,
+// so electronics dominates at logic-level distances; energy, delay and
+// repeater area all grow linearly with length, which is what hands the
+// mid-range to HyPPI (crossover between 100 µm and 1 mm) and the long range
+// (≥ ~10-20 mm) to photonics in Fig. 3.
+func ElectronicITRS14() ElectronicParams {
+	return ElectronicParams{
+		WireWidthUM:          0.16,
+		WireSpacingUM:        0.16,
+		PerWireRateGbps:      50,
+		EnergyFJPerBitPerMM:  30,
+		FixedEnergyFJPerBit:  1,
+		DelayPSPerMM:         50,
+		FixedDelayPS:         5,
+		RepeaterAreaUM2PerMM: 6,
+		StaticPowerUWPerMM:   1.5,
+	}
+}
+
+// Optical returns the Table I parameter set for an optical technology.
+func Optical(t Technology) (OpticalParams, error) {
+	switch t {
+	case Photonic:
+		return PhotonicTableI(), nil
+	case Plasmonic:
+		return PlasmonicTableI(), nil
+	case HyPPI:
+		return HyPPITableI(), nil
+	}
+	return OpticalParams{}, fmt.Errorf("tech: %v has no optical parameters", t)
+}
+
+// ErrInvalid is wrapped by Validate for all parameter violations.
+var ErrInvalid = errors.New("tech: invalid parameters")
+
+// Validate sanity-checks an optical parameter set: everything physical must
+// be positive (or zero where Table I says so) and the system rate must not
+// exceed the bare device rate.
+func (p OpticalParams) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s: %s", ErrInvalid, p.Tech, fmt.Sprintf(format, args...))
+	}
+	if p.Laser.EfficiencyPct <= 0 || p.Laser.EfficiencyPct > 100 {
+		return fail("laser efficiency %v%% out of (0,100]", p.Laser.EfficiencyPct)
+	}
+	if p.Laser.AreaUM2 <= 0 {
+		return fail("laser area %v must be positive", p.Laser.AreaUM2)
+	}
+	if p.Modulator.BareSpeedGbps <= 0 || p.Modulator.SystemSpeedGbps <= 0 {
+		return fail("modulator speeds must be positive")
+	}
+	if p.Modulator.SystemSpeedGbps > p.Modulator.BareSpeedGbps {
+		return fail("system speed %v exceeds bare device speed %v",
+			p.Modulator.SystemSpeedGbps, p.Modulator.BareSpeedGbps)
+	}
+	if p.Modulator.EnergyFJPerBit < 0 || p.Detector.EnergyFJPerBit < 0 {
+		return fail("energies must be non-negative")
+	}
+	if p.Modulator.InsertionLossDB < 0 || p.Waveguide.PropagationLossDBPerCM < 0 ||
+		p.Waveguide.CouplingLossDB < 0 {
+		return fail("losses must be non-negative")
+	}
+	if p.Modulator.ExtinctionRatioDB <= 0 {
+		return fail("extinction ratio must be positive")
+	}
+	if p.Detector.ResponsivityAPerW <= 0 {
+		return fail("responsivity must be positive")
+	}
+	if p.Detector.SpeedGbps <= 0 || p.Detector.SpeedGbps > p.Detector.IntrinsicSpeedGbps {
+		return fail("detector speed %v out of (0, %v]", p.Detector.SpeedGbps, p.Detector.IntrinsicSpeedGbps)
+	}
+	if p.Waveguide.PitchUM <= 0 || p.Waveguide.WidthUM <= 0 || p.Waveguide.WidthUM > p.Waveguide.PitchUM {
+		return fail("waveguide width %v / pitch %v inconsistent", p.Waveguide.WidthUM, p.Waveguide.PitchUM)
+	}
+	if p.Waveguide.GroupIndex < 1 {
+		return fail("group index %v below vacuum", p.Waveguide.GroupIndex)
+	}
+	if p.DetectorSensitivityW <= 0 {
+		return fail("detector sensitivity must be positive")
+	}
+	return nil
+}
+
+// Validate sanity-checks the electronic wire parameters.
+func (p ElectronicParams) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: Electronic: %s", ErrInvalid, fmt.Sprintf(format, args...))
+	}
+	if p.WireWidthUM <= 0 || p.WireSpacingUM < 0 {
+		return fail("wire geometry must be positive")
+	}
+	if p.PerWireRateGbps <= 0 {
+		return fail("wire rate must be positive")
+	}
+	if p.EnergyFJPerBitPerMM <= 0 || p.FixedEnergyFJPerBit < 0 {
+		return fail("energies invalid")
+	}
+	if p.DelayPSPerMM <= 0 || p.FixedDelayPS < 0 {
+		return fail("delays invalid")
+	}
+	if p.RepeaterAreaUM2PerMM < 0 || p.StaticPowerUWPerMM < 0 {
+		return fail("repeater costs must be non-negative")
+	}
+	return nil
+}
+
+// LinkLatencyClks returns the per-hop link latency in router clock cycles as
+// fixed by the paper's Table II: 1 cycle for electronic links, 2 cycles for
+// any optical link (the extra cycle is the O-E conversion at the receiver;
+// propagation itself fits within one 0.78125 GHz cycle for all on-chip
+// lengths considered).
+func LinkLatencyClks(t Technology) int {
+	if t.IsOptical() {
+		return 2
+	}
+	return 1
+}

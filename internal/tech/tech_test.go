@@ -1,0 +1,188 @@
+package tech
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTableIParameters pins the transcription of Table I: any edit to the
+// catalogue that drifts from the paper fails here.
+func TestTableIParameters(t *testing.T) {
+	p := PhotonicTableI()
+	if p.Laser.EfficiencyPct != 25 || p.Laser.AreaUM2 != 200 {
+		t.Errorf("photonic laser row: %+v", p.Laser)
+	}
+	if p.Modulator.BareSpeedGbps != 25 || p.Modulator.EnergyFJPerBit != 2.77 ||
+		p.Modulator.InsertionLossDB != 1.02 || p.Modulator.ExtinctionRatioDB != 6.18 ||
+		p.Modulator.AreaUM2 != 100 || p.Modulator.CapacitanceFF != 16 {
+		t.Errorf("photonic modulator row: %+v", p.Modulator)
+	}
+	if p.Detector.SpeedGbps != 40 || p.Detector.ResponsivityAPerW != 0.8 || p.Detector.AreaUM2 != 100 {
+		t.Errorf("photonic detector row: %+v", p.Detector)
+	}
+	if p.Waveguide.PropagationLossDBPerCM != 1 || p.Waveguide.PitchUM != 4 || p.Waveguide.WidthUM != 0.35 {
+		t.Errorf("photonic waveguide row: %+v", p.Waveguide)
+	}
+
+	s := PlasmonicTableI()
+	if s.Laser.EfficiencyPct != 20 || s.Laser.AreaUM2 != 0.003 {
+		t.Errorf("plasmonic laser row: %+v", s.Laser)
+	}
+	if s.Modulator.BareSpeedGbps != 59 || s.Modulator.SystemSpeedGbps != 50 ||
+		s.Modulator.EnergyFJPerBit != 6.8 || s.Modulator.InsertionLossDB != 1.1 ||
+		s.Modulator.ExtinctionRatioDB != 17 || s.Modulator.AreaUM2 != 4 || s.Modulator.CapacitanceFF != 14 {
+		t.Errorf("plasmonic modulator row: %+v", s.Modulator)
+	}
+	if s.Waveguide.PropagationLossDBPerCM != 440 || s.Waveguide.CouplingLossDB != 0.63 ||
+		s.Waveguide.PitchUM != 0.5 || s.Waveguide.WidthUM != 0.1 {
+		t.Errorf("plasmonic waveguide row: %+v", s.Waveguide)
+	}
+
+	h := HyPPITableI()
+	if h.Laser.EfficiencyPct != 20 || h.Laser.AreaUM2 != 0.003 {
+		t.Errorf("hyppi laser row: %+v", h.Laser)
+	}
+	if h.Modulator.BareSpeedGbps != 2100 || h.Modulator.SystemSpeedGbps != 50 ||
+		h.Modulator.EnergyFJPerBit != 4.25 || h.Modulator.InsertionLossDB != 0.6 ||
+		h.Modulator.ExtinctionRatioDB != 12 || h.Modulator.AreaUM2 != 1 || h.Modulator.CapacitanceFF != 0.94 {
+		t.Errorf("hyppi modulator row: %+v", h.Modulator)
+	}
+	if h.Detector.SpeedGbps != 50 || h.Detector.IntrinsicSpeedGbps != 700 ||
+		h.Detector.EnergyFJPerBit != 0.14 || h.Detector.ResponsivityAPerW != 0.1 || h.Detector.AreaUM2 != 4 {
+		t.Errorf("hyppi detector row: %+v", h.Detector)
+	}
+	if h.Waveguide.PropagationLossDBPerCM != 1 || h.Waveguide.CouplingLossDB != 1 ||
+		h.Waveguide.PitchUM != 1 || h.Waveguide.WidthUM != 0.35 {
+		t.Errorf("hyppi waveguide row: %+v", h.Waveguide)
+	}
+}
+
+func TestAllCatalogueEntriesValidate(t *testing.T) {
+	for _, tc := range OpticalTechnologies {
+		p, err := Optical(tc)
+		if err != nil {
+			t.Fatalf("Optical(%v): %v", tc, err)
+		}
+		if p.Tech != tc {
+			t.Errorf("Optical(%v) tagged %v", tc, p.Tech)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", tc, err)
+		}
+	}
+	if err := ElectronicITRS14().Validate(); err != nil {
+		t.Errorf("Validate(Electronic): %v", err)
+	}
+}
+
+func TestOpticalRejectsElectronic(t *testing.T) {
+	if _, err := Optical(Electronic); err == nil {
+		t.Error("Optical(Electronic) should fail")
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*OpticalParams)
+	}{
+		{"zero efficiency", func(p *OpticalParams) { p.Laser.EfficiencyPct = 0 }},
+		{"efficiency over 100", func(p *OpticalParams) { p.Laser.EfficiencyPct = 120 }},
+		{"negative laser area", func(p *OpticalParams) { p.Laser.AreaUM2 = -1 }},
+		{"system above bare", func(p *OpticalParams) { p.Modulator.SystemSpeedGbps = p.Modulator.BareSpeedGbps * 2 }},
+		{"negative modulation energy", func(p *OpticalParams) { p.Modulator.EnergyFJPerBit = -1 }},
+		{"negative insertion loss", func(p *OpticalParams) { p.Modulator.InsertionLossDB = -0.5 }},
+		{"zero extinction", func(p *OpticalParams) { p.Modulator.ExtinctionRatioDB = 0 }},
+		{"zero responsivity", func(p *OpticalParams) { p.Detector.ResponsivityAPerW = 0 }},
+		{"detector above intrinsic", func(p *OpticalParams) { p.Detector.SpeedGbps = p.Detector.IntrinsicSpeedGbps + 1 }},
+		{"width above pitch", func(p *OpticalParams) { p.Waveguide.WidthUM = p.Waveguide.PitchUM * 2 }},
+		{"group index below 1", func(p *OpticalParams) { p.Waveguide.GroupIndex = 0.5 }},
+		{"zero sensitivity", func(p *OpticalParams) { p.DetectorSensitivityW = 0 }},
+	}
+	for _, m := range mutations {
+		p := HyPPITableI()
+		m.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid params", m.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: error not wrapped as ErrInvalid: %v", m.name, err)
+		}
+	}
+}
+
+func TestElectronicValidateCatchesViolations(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*ElectronicParams)
+	}{
+		{"zero width", func(p *ElectronicParams) { p.WireWidthUM = 0 }},
+		{"zero rate", func(p *ElectronicParams) { p.PerWireRateGbps = 0 }},
+		{"zero slope energy", func(p *ElectronicParams) { p.EnergyFJPerBitPerMM = 0 }},
+		{"zero delay slope", func(p *ElectronicParams) { p.DelayPSPerMM = 0 }},
+		{"negative leakage", func(p *ElectronicParams) { p.StaticPowerUWPerMM = -1 }},
+	}
+	for _, m := range mutations {
+		p := ElectronicITRS14()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid params", m.name)
+		}
+	}
+}
+
+func TestTechnologyString(t *testing.T) {
+	want := map[Technology]string{
+		Electronic: "Electronic",
+		Photonic:   "Photonic",
+		Plasmonic:  "Plasmonic",
+		HyPPI:      "HyPPI",
+	}
+	for tc, s := range want {
+		if tc.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(tc), tc.String(), s)
+		}
+	}
+	if got := Technology(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown technology should include its number, got %q", got)
+	}
+}
+
+func TestParseTechnologyRoundTrip(t *testing.T) {
+	for _, tc := range Technologies {
+		got, err := ParseTechnology(tc.String())
+		if err != nil || got != tc {
+			t.Errorf("ParseTechnology(%q) = %v, %v", tc.String(), got, err)
+		}
+	}
+	if _, err := ParseTechnology("graphene"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestIsOptical(t *testing.T) {
+	if Electronic.IsOptical() {
+		t.Error("electronic is not optical")
+	}
+	for _, tc := range OpticalTechnologies {
+		if !tc.IsOptical() {
+			t.Errorf("%v should be optical", tc)
+		}
+	}
+}
+
+// TestLinkLatencyClks pins the Table II link latencies: 1 clk electronic,
+// 2 clks for every optical option.
+func TestLinkLatencyClks(t *testing.T) {
+	if LinkLatencyClks(Electronic) != 1 {
+		t.Error("electronic link must be 1 clk")
+	}
+	for _, tc := range OpticalTechnologies {
+		if LinkLatencyClks(tc) != 2 {
+			t.Errorf("%v link must be 2 clks", tc)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func build2D(t *testing.T, hops int) *Network {
+	t.Helper()
+	c := DefaultConfig()
+	c.ExpressHops = hops
+	c.ExpressTech = tech.HyPPI
+	c.ExpressBothDims = true
+	n, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestExpress2DChannelCounts: both dimensions gain the per-row counts, so
+// express channels double vs the horizontal-only configuration.
+func TestExpress2DChannelCounts(t *testing.T) {
+	cases := []struct{ hops, perLineDir int }{{3, 5}, {5, 3}, {15, 1}}
+	for _, c := range cases {
+		n := build2D(t, c.hops)
+		want := c.perLineDir * 16 * 2 * 2 // rows + columns
+		if got := n.ExpressChannels(); got != want {
+			t.Errorf("hops=%d: %d express channels, want %d", c.hops, got, want)
+		}
+	}
+}
+
+// TestExpress2DPorts: interior double-express nodes reach 9 ports (the
+// radix cost the paper avoids by staying horizontal).
+func TestExpress2DPorts(t *testing.T) {
+	n := build2D(t, 3)
+	if got := n.Ports(n.Node(3, 3)); got != 9 {
+		t.Errorf("double express node ports = %d, want 9", got)
+	}
+	if got := n.MaxPorts(); got != 9 {
+		t.Errorf("max ports = %d, want 9", got)
+	}
+	// Horizontal-only stays at 7.
+	c := DefaultConfig()
+	c.ExpressHops = 3
+	c.ExpressTech = tech.HyPPI
+	h := MustBuild(c)
+	if got := h.MaxPorts(); got != 7 {
+		t.Errorf("1-D express max ports = %d, want 7", got)
+	}
+}
+
+// TestExpress2DDatelines: hops=15 in both dimensions closes rows AND
+// columns into rings.
+func TestExpress2DDatelines(t *testing.T) {
+	n := build2D(t, 15)
+	if !n.HasDatelineX() || !n.HasDatelineY() {
+		t.Error("hops=15 both dims must have X and Y datelines")
+	}
+	oneD := MustBuild(Config{
+		Width: 16, Height: 16, CoreSpacingM: 1e-3, CapacityBps: 50e9,
+		BaseTech: tech.Electronic, ExpressTech: tech.HyPPI, ExpressHops: 15,
+	})
+	if !oneD.HasDatelineX() || oneD.HasDatelineY() {
+		t.Error("1-D express must have only the X dateline")
+	}
+	short := build2D(t, 3)
+	if short.HasDateline() {
+		t.Error("hops=3 must have no datelines")
+	}
+}
+
+// TestExpress2DCapability: C grows by twice the one-dimensional increment.
+func TestExpress2DCapability(t *testing.T) {
+	n := build2D(t, 3)
+	// Plain 187.5 + 2 × 31.25 = 250.
+	if got := n.CapabilityGbpsPerNode(); got != 250 {
+		t.Errorf("2-D express C = %v, want 250", got)
+	}
+}
+
+// TestExpress2DVerticalLinkShape: vertical express channels move only in Y.
+func TestExpress2DVerticalLinkShape(t *testing.T) {
+	n := build2D(t, 5)
+	vertical := 0
+	for _, l := range n.Links {
+		if !l.Express {
+			continue
+		}
+		dx, dy := l.DX(n), l.DY(n)
+		if dx != 0 && dy != 0 {
+			t.Fatalf("diagonal express link %d", l.ID)
+		}
+		if dy != 0 {
+			vertical++
+			if dy != 5 && dy != -5 {
+				t.Fatalf("vertical express dy=%d, want ±5", dy)
+			}
+		}
+	}
+	if vertical != 3*16*2 {
+		t.Errorf("vertical express channels = %d, want %d", vertical, 3*16*2)
+	}
+}
+
+func TestExpress2DValidation(t *testing.T) {
+	c := Config{
+		Width: 16, Height: 4, CoreSpacingM: 1e-3, CapacityBps: 50e9,
+		BaseTech: tech.Electronic, ExpressTech: tech.HyPPI,
+		ExpressHops: 5, ExpressBothDims: true,
+	}
+	if _, err := Build(c); err == nil {
+		t.Error("vertical hops above height must be rejected")
+	}
+	c.ExpressBothDims = false
+	if _, err := Build(c); err != nil {
+		t.Errorf("horizontal-only should pass: %v", err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package topology builds the networks the paper evaluates: a W×H electronic
+// (or optical) base mesh, optionally augmented with horizontal express links
+// of a chosen technology and hop length (Fig. 2a, 2b).
+//
+// All links are bidirectional and are represented as pairs of unidirectional
+// channels, matching both BookSim's channel model and the way the paper
+// counts "waveguides per direction". Express links with Hops = h connect
+// nodes (0,h), (h,2h), … along each row; for a 16-wide mesh this yields the
+// paper's counts of 5/3/1 express channels per row per direction for
+// h = 3/5/15 (h = 15 closes each row into a ring, which the paper calls
+// "effectively a 2D torus").
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+// NodeID identifies a router/core tile; nodes are numbered row-major,
+// id = y*Width + x.
+type NodeID int
+
+// LinkID indexes into Network.Links.
+type LinkID int
+
+// Link is one unidirectional channel.
+type Link struct {
+	ID       LinkID
+	Src, Dst NodeID
+	// Tech is the link's interconnect technology.
+	Tech tech.Technology
+	// LengthM is the physical route length (Manhattan, core spacing ×
+	// hop distance).
+	LengthM float64
+	// LatencyClks is the traversal latency in router clocks (Table II:
+	// 1 electronic, 2 optical).
+	LatencyClks int
+	// CapacityBps is the channel data rate (50 Gb/s everywhere in the
+	// paper, enforced by rate matching).
+	CapacityBps float64
+	// Express marks long-range express channels (vs base mesh channels).
+	Express bool
+	// Dateline marks the row-closure channels of the hops = Width−1
+	// configuration ("effectively a 2D torus"): traversing one wraps
+	// around the row ring, and deadlock-free routing must switch virtual
+	// channel classes when crossing it.
+	Dateline bool
+}
+
+// DX returns the signed X displacement of the link in hops.
+func (l Link) DX(n *Network) int { return n.X(l.Dst) - n.X(l.Src) }
+
+// DY returns the signed Y displacement of the link in hops.
+func (l Link) DY(n *Network) int { return n.Y(l.Dst) - n.Y(l.Src) }
+
+// Config describes one network of the design space.
+type Config struct {
+	// Width and Height give the node grid (Table II: 16×16).
+	Width, Height int
+	// CoreSpacingM is the inter-core pitch (Table II: 1 mm).
+	CoreSpacingM float64
+	// CapacityBps is the per-channel rate (Table II: 50 Gb/s).
+	CapacityBps float64
+	// BaseTech is the technology of the mesh channels.
+	BaseTech tech.Technology
+	// ExpressTech is the technology of express channels; ignored when
+	// ExpressHops is zero.
+	ExpressTech tech.Technology
+	// ExpressHops is the express hop length h (0 = plain mesh; the paper
+	// uses 3, 5, 15).
+	ExpressHops int
+	// ExpressBothDims extends express links to the vertical dimension as
+	// well — the "express cube" generalization the paper declines to
+	// keep router radix at 7; with it, interior express nodes reach 9
+	// ports. Vertical row-closure links (hops = Height−1) are datelines
+	// exactly like their horizontal counterparts.
+	ExpressBothDims bool
+}
+
+// DefaultConfig returns the paper's Table II network: a 16×16 plain
+// electronic mesh with 1 mm core spacing and 50 Gb/s channels.
+func DefaultConfig() Config {
+	return Config{
+		Width:        16,
+		Height:       16,
+		CoreSpacingM: 1 * units.Millimetre,
+		CapacityBps:  50e9,
+		BaseTech:     tech.Electronic,
+	}
+}
+
+// Validate checks structural soundness.
+func (c Config) Validate() error {
+	if c.Width < 2 || c.Height < 1 {
+		return fmt.Errorf("topology: grid %dx%d too small", c.Width, c.Height)
+	}
+	if c.CoreSpacingM <= 0 {
+		return fmt.Errorf("topology: non-positive core spacing %v", c.CoreSpacingM)
+	}
+	if c.CapacityBps <= 0 {
+		return fmt.Errorf("topology: non-positive capacity %v", c.CapacityBps)
+	}
+	if c.ExpressHops < 0 {
+		return fmt.Errorf("topology: negative express hops %d", c.ExpressHops)
+	}
+	if c.ExpressHops > 0 && c.ExpressHops >= c.Width {
+		return fmt.Errorf("topology: express hops %d must be below width %d", c.ExpressHops, c.Width)
+	}
+	if c.ExpressBothDims && c.ExpressHops > 0 && c.ExpressHops >= c.Height {
+		return fmt.Errorf("topology: express hops %d must be below height %d", c.ExpressHops, c.Height)
+	}
+	return nil
+}
+
+// Network is an immutable built topology.
+type Network struct {
+	Config
+	Links []Link
+	// out[node] lists the IDs of channels leaving the node.
+	out [][]LinkID
+	// in[node] lists the IDs of channels entering the node.
+	in [][]LinkID
+}
+
+// Build constructs the network for a configuration.
+func Build(c Config) (*Network, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{Config: c}
+	nn := c.Width * c.Height
+	n.out = make([][]LinkID, nn)
+	n.in = make([][]LinkID, nn)
+
+	addPair := func(a, b NodeID, t tech.Technology, hops int, express, vertical bool) {
+		length := float64(hops) * c.CoreSpacingM
+		closure := c.Width - 1
+		if vertical {
+			closure = c.Height - 1
+		}
+		dateline := express && hops == closure
+		for _, e := range [2][2]NodeID{{a, b}, {b, a}} {
+			id := LinkID(len(n.Links))
+			n.Links = append(n.Links, Link{
+				ID:          id,
+				Src:         e[0],
+				Dst:         e[1],
+				Tech:        t,
+				LengthM:     length,
+				LatencyClks: tech.LinkLatencyClks(t),
+				CapacityBps: c.CapacityBps,
+				Express:     express,
+				Dateline:    dateline,
+			})
+			n.out[e[0]] = append(n.out[e[0]], id)
+			n.in[e[1]] = append(n.in[e[1]], id)
+		}
+	}
+
+	// Base mesh channels: horizontal then vertical neighbours.
+	for y := 0; y < c.Height; y++ {
+		for x := 0; x < c.Width-1; x++ {
+			addPair(n.Node(x, y), n.Node(x+1, y), c.BaseTech, 1, false, false)
+		}
+	}
+	for y := 0; y < c.Height-1; y++ {
+		for x := 0; x < c.Width; x++ {
+			addPair(n.Node(x, y), n.Node(x, y+1), c.BaseTech, 1, false, true)
+		}
+	}
+
+	// Horizontal express channels: (0,h), (h,2h), … per row. The paper
+	// restricts express links to the horizontal dimension to bound
+	// router port counts at 7.
+	if c.ExpressHops > 0 {
+		h := c.ExpressHops
+		for y := 0; y < c.Height; y++ {
+			for x := 0; x+h < c.Width; x += h {
+				addPair(n.Node(x, y), n.Node(x+h, y), c.ExpressTech, h, true, false)
+			}
+		}
+		if c.ExpressBothDims {
+			for x := 0; x < c.Width; x++ {
+				for y := 0; y+h < c.Height; y += h {
+					addPair(n.Node(x, y), n.Node(x, y+h), c.ExpressTech, h, true, true)
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(c Config) *Network {
+	n, err := Build(c)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return n.Width * n.Height }
+
+// Node maps grid coordinates to a NodeID.
+func (n *Network) Node(x, y int) NodeID { return NodeID(y*n.Width + x) }
+
+// X returns the column of a node.
+func (n *Network) X(id NodeID) int { return int(id) % n.Width }
+
+// Y returns the row of a node.
+func (n *Network) Y(id NodeID) int { return int(id) / n.Width }
+
+// OutLinks returns the channels leaving a node. The returned slice is owned
+// by the network and must not be modified.
+func (n *Network) OutLinks(id NodeID) []LinkID { return n.out[id] }
+
+// InLinks returns the channels entering a node. The returned slice is owned
+// by the network and must not be modified.
+func (n *Network) InLinks(id NodeID) []LinkID { return n.in[id] }
+
+// Ports returns the router port count at a node: one local injection/
+// ejection port plus one port per attached bidirectional link (out-degree).
+// Interior mesh nodes have 5 ports; express-endpoint nodes have 6 or 7
+// ("5 (base) or 7 (hybrid)" in Table II).
+func (n *Network) Ports(id NodeID) int { return 1 + len(n.out[id]) }
+
+// MaxPorts returns the largest router port count in the network.
+func (n *Network) MaxPorts() int {
+	m := 0
+	for id := 0; id < n.NumNodes(); id++ {
+		if p := n.Ports(NodeID(id)); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// HasDateline reports whether the network contains row-closure (wrap)
+// channels, i.e. the hops = Width−1 torus-like configuration.
+func (n *Network) HasDateline() bool {
+	return n.HasDatelineX() || n.HasDatelineY()
+}
+
+// HasDatelineX reports whether horizontal wrap channels exist.
+func (n *Network) HasDatelineX() bool {
+	for _, l := range n.Links {
+		if l.Dateline && l.DX(n) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDatelineY reports whether vertical wrap channels exist (2-D express
+// with hops = Height−1).
+func (n *Network) HasDatelineY() bool {
+	for _, l := range n.Links {
+		if l.Dateline && l.DY(n) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpressChannels counts unidirectional express channels.
+func (n *Network) ExpressChannels() int {
+	c := 0
+	for _, l := range n.Links {
+		if l.Express {
+			c++
+		}
+	}
+	return c
+}
+
+// AggregateCapacityBps sums the capacity of every unidirectional channel:
+// the numerator of the paper's system-level CLEAR before dividing by N.
+func (n *Network) AggregateCapacityBps() float64 {
+	var sum float64
+	for _, l := range n.Links {
+		sum += l.CapacityBps
+	}
+	return sum
+}
+
+// CapabilityGbpsPerNode returns Table III's C: aggregate channel capacity in
+// Gb/s divided by the node count.
+func (n *Network) CapabilityGbpsPerNode() float64 {
+	return n.AggregateCapacityBps() / units.Giga / float64(n.NumNodes())
+}
+
+// MeshDistance returns the Manhattan distance in the base mesh between two
+// nodes, a lower bound reference for routing tests.
+func (n *Network) MeshDistance(a, b NodeID) int {
+	dx := n.X(a) - n.X(b)
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := n.Y(a) - n.Y(b)
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// String summarizes the topology.
+func (n *Network) String() string {
+	s := fmt.Sprintf("%dx%d %v mesh", n.Width, n.Height, n.BaseTech)
+	if n.ExpressHops > 0 {
+		s += fmt.Sprintf(" + %v express (hops=%d)", n.ExpressTech, n.ExpressHops)
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the trace parser with arbitrary input: it must never
+// panic, and anything it accepts must round-trip through Write/Read.
+func FuzzRead(f *testing.F) {
+	f.Add("# comment\n0 1 2 64\n")
+	f.Add("5 0 0 8\n\n\n")
+	f.Add("9999999999999 255 254 1048576\n")
+	f.Add("-1 0 0 8\n")
+	f.Add("a b c d\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		events, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, e := range events {
+			if e.Cycle < 0 || e.Src < 0 || e.Dst < 0 || e.Bytes <= 0 {
+				t.Fatalf("accepted invalid event %+v", e)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, events); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round-trip lost events: %d -> %d", len(events), len(back))
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("round-trip changed event %d: %+v -> %+v", i, events[i], back[i])
+			}
+		}
+	})
+}

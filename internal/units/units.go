@@ -1,0 +1,166 @@
+// Package units provides the small set of physical-unit helpers shared by
+// every model in the repository: decibel arithmetic, SI prefixes, and
+// tolerant floating-point comparison.
+//
+// All interconnect models in this codebase keep quantities in a fixed set of
+// base units so that package boundaries never have to guess:
+//
+//	length      metres (helpers for µm/mm/cm)
+//	time        seconds (helpers for ps/ns)
+//	energy      joules (helpers for fJ/pJ)
+//	power       watts (helpers for mW/µW)
+//	data rate   bits per second
+//	area        square metres (helpers for µm²/mm²)
+//	loss/gain   decibels at the boundary, linear ratios internally
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// SI prefixes as multipliers on the base unit. These exist so model code
+// reads like the paper's tables ("4.25 fJ/bit", "200 µm²") instead of raw
+// exponents.
+const (
+	Femto = 1e-15
+	Pico  = 1e-12
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+	Tera  = 1e12
+)
+
+// Length helpers (metres).
+const (
+	Micrometre = Micro // 1 µm in metres
+	Millimetre = Milli // 1 mm in metres
+	Centimetre = 1e-2  // 1 cm in metres
+)
+
+// MicrometreSq is one square micrometre in square metres.
+const MicrometreSq = Micro * Micro
+
+// MillimetreSq is one square millimetre in square metres.
+const MillimetreSq = Milli * Milli
+
+// DBToLinear converts a decibel value to a linear power ratio.
+// A loss expressed as a positive dB number corresponds to a linear
+// transmission factor of 10^(-dB/10); this function is the plain ratio
+// conversion 10^(dB/10) and callers negate for losses.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear power ratio to decibels. The ratio must be
+// strictly positive; a non-positive ratio returns -Inf which callers treat
+// as "no transmission".
+func LinearToDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// TransmissionFromLossDB returns the fraction of optical power surviving a
+// loss of lossDB decibels (lossDB >= 0). Negative losses (gain) are also
+// accepted and produce factors > 1.
+func TransmissionFromLossDB(lossDB float64) float64 {
+	return math.Pow(10, -lossDB/10)
+}
+
+// LossDBFromTransmission is the inverse of TransmissionFromLossDB.
+func LossDBFromTransmission(t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(t)
+}
+
+// ApproxEqual reports whether a and b agree to within rel relative tolerance
+// (falling back to an absolute tolerance of rel near zero). It is the single
+// comparison primitive used by the test suites so that tolerance policy lives
+// in one place.
+func ApproxEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff <= rel
+	}
+	return diff <= rel*scale
+}
+
+// WithinFactor reports whether got is within [want/f, want*f] for f >= 1.
+// It is how EXPERIMENTS.md-style "shape" assertions are written: the paper's
+// absolute numbers came from a different substrate, so tests assert factors.
+func WithinFactor(got, want, f float64) bool {
+	if f < 1 {
+		f = 1 / f
+	}
+	if want == 0 {
+		return got == 0
+	}
+	if (got > 0) != (want > 0) {
+		return false
+	}
+	r := got / want
+	if r < 0 {
+		return false
+	}
+	return r >= 1/f && r <= f
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FormatSI renders v with an SI prefix and the given unit suffix, e.g.
+// FormatSI(4.25e-15, "J") == "4.25 fJ". Only the prefixes used by the models
+// are covered; out-of-range magnitudes fall back to scientific notation.
+func FormatSI(v float64, unit string) string {
+	type pfx struct {
+		mul  float64
+		name string
+	}
+	prefixes := []pfx{
+		{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+		{1, ""},
+		{1e-3, "m"}, {1e-6, "µ"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+	}
+	av := math.Abs(v)
+	if av == 0 {
+		return "0 " + unit
+	}
+	for _, p := range prefixes {
+		if av >= p.mul {
+			return trimFloat(v/p.mul) + " " + p.name + unit
+		}
+	}
+	return fmt.Sprintf("%.3g %s", v, unit)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros but keep at least one digit after the point,
+	// then drop a bare trailing point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBLinearRoundTrip(t *testing.T) {
+	for _, db := range []float64{-30, -3, -1, 0, 0.5, 1, 3, 10, 20, 60} {
+		lin := DBToLinear(db)
+		back := LinearToDB(lin)
+		if !ApproxEqual(back, db, 1e-12) {
+			t.Errorf("roundtrip %v dB -> %v -> %v", db, lin, back)
+		}
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	cases := []struct {
+		db  float64
+		lin float64
+	}{
+		{0, 1},
+		{10, 10},
+		{20, 100},
+		{-10, 0.1},
+		{3, 1.9952623149688795},
+	}
+	for _, c := range cases {
+		if got := DBToLinear(c.db); !ApproxEqual(got, c.lin, 1e-12) {
+			t.Errorf("DBToLinear(%v) = %v, want %v", c.db, got, c.lin)
+		}
+	}
+}
+
+func TestLinearToDBNonPositive(t *testing.T) {
+	if !math.IsInf(LinearToDB(0), -1) {
+		t.Error("LinearToDB(0) should be -Inf")
+	}
+	if !math.IsInf(LinearToDB(-2), -1) {
+		t.Error("LinearToDB(-2) should be -Inf")
+	}
+	if !math.IsInf(LossDBFromTransmission(0), 1) {
+		t.Error("LossDBFromTransmission(0) should be +Inf")
+	}
+}
+
+func TestTransmissionFromLossDB(t *testing.T) {
+	if got := TransmissionFromLossDB(3.0103); !ApproxEqual(got, 0.5, 1e-4) {
+		t.Errorf("3.01 dB loss should halve power, got %v", got)
+	}
+	if got := TransmissionFromLossDB(0); got != 1 {
+		t.Errorf("0 dB loss should pass all power, got %v", got)
+	}
+	if got := TransmissionFromLossDB(-3.0103); !ApproxEqual(got, 2, 1e-4) {
+		t.Errorf("-3.01 dB (gain) should double power, got %v", got)
+	}
+}
+
+func TestTransmissionRoundTripProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		db := math.Mod(math.Abs(raw), 100) // losses 0..100 dB
+		tr := TransmissionFromLossDB(db)
+		back := LossDBFromTransmission(tr)
+		return ApproxEqual(back, db, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransmissionMonotoneProperty(t *testing.T) {
+	// More loss never transmits more power.
+	f := func(a, b float64) bool {
+		la := math.Mod(math.Abs(a), 80)
+		lb := math.Mod(math.Abs(b), 80)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return TransmissionFromLossDB(la) >= TransmissionFromLossDB(lb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(100, 100.0000001, 1e-6) {
+		t.Error("near-equal large values should match")
+	}
+	if ApproxEqual(100, 101, 1e-6) {
+		t.Error("1% off should not match at 1e-6")
+	}
+	if !ApproxEqual(0, 1e-9, 1e-6) {
+		t.Error("tiny absolute difference near zero should match")
+	}
+	if !ApproxEqual(3.5, 3.5, 0) {
+		t.Error("identical values must match even at zero tolerance")
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	if !WithinFactor(2, 1, 2) {
+		t.Error("2 is within 2x of 1")
+	}
+	if !WithinFactor(0.5, 1, 2) {
+		t.Error("0.5 is within 2x of 1")
+	}
+	if WithinFactor(2.01, 1, 2) {
+		t.Error("2.01 is not within 2x of 1")
+	}
+	if !WithinFactor(3, 6, 0.5) { // factor < 1 is normalized
+		t.Error("factor below one should be inverted")
+	}
+	if WithinFactor(-1, 1, 10) {
+		t.Error("sign mismatch must fail")
+	}
+	if !WithinFactor(0, 0, 3) {
+		t.Error("both zero should match")
+	}
+	if WithinFactor(1, 0, 3) {
+		t.Error("nonzero vs zero should fail")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 {
+		t.Error("clamp above")
+	}
+	if Clamp(-5, 0, 1) != 0 {
+		t.Error("clamp below")
+	}
+	if Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp inside")
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{4.25e-15, "J", "4.25 fJ"},
+		{50e9, "b/s", "50 Gb/s"},
+		{1.53, "W", "1.53 W"},
+		{0, "W", "0 W"},
+		{2.1e12, "b/s", "2.1 Tb/s"},
+		{200e-12, "s", "200 ps"},
+	}
+	for _, c := range cases {
+		if got := FormatSI(c.v, c.unit); got != c.want {
+			t.Errorf("FormatSI(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestUnitConstants(t *testing.T) {
+	if Micrometre*1e6 != 1 {
+		t.Error("1e6 µm should be 1 m")
+	}
+	if Millimetre*1e3 != 1 {
+		t.Error("1e3 mm should be 1 m")
+	}
+	if Centimetre*1e2 != 1 {
+		t.Error("1e2 cm should be 1 m")
+	}
+	if MicrometreSq != 1e-12 {
+		t.Error("µm² constant wrong")
+	}
+}
