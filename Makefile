@@ -1,0 +1,32 @@
+# Development targets for the HyPPI NoC reproduction.
+#
+#   make ci      — the full gate: vet, race-enabled short tests, full tests
+#   make test    — full (non-short) test suite
+#   make short   — fast feedback loop (seconds, scaled-down workloads)
+#   make race    — race-enabled short suite (the concurrency gate)
+#   make bench   — regenerate every paper table/figure as benchmarks
+#   make golden  — rewrite internal/core/testdata/golden.json from HEAD
+
+GO ?= go
+
+.PHONY: ci vet test short race bench golden
+
+ci: vet race test
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+golden:
+	$(GO) test ./internal/core -run TestGolden -update

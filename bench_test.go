@@ -9,6 +9,9 @@
 package repro
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/analytic"
@@ -19,6 +22,7 @@ import (
 	"repro/internal/npb"
 	"repro/internal/optical"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -110,6 +114,64 @@ func BenchmarkTableIVStaticPower(b *testing.B) {
 	b.ReportMetric(res[0].StaticW, "static_base_W")
 	b.ReportMetric(res[1].StaticW, "static_photonic_h3_W")
 	b.ReportMetric(res[2].StaticW, "static_hyppi_h3_W")
+}
+
+// BenchmarkFig5SweepWorkers measures the parallel experiment engine on the
+// full 30-point Fig. 5 sweep across pool sizes: workers=1 is the serial
+// baseline, the larger pools show the wall-clock speedup of the
+// embarrassingly-parallel runner (bounded by available cores — compare the
+// points/s metric between sub-benchmarks). Results are bit-identical at
+// every pool size.
+func BenchmarkFig5SweepWorkers(b *testing.B) {
+	o := core.DefaultOptions()
+	pts := core.DefaultDesignSpace()
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		counts = append(counts, g)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.ExploreContext(context.Background(), pts, o,
+					runner.Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(pts) {
+					b.Fatalf("%d results", len(res))
+				}
+			}
+			b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkTraceBatchWorkers measures the worker pool on a batch of
+// cycle-accurate trace simulations (the Fig. 6 shape): four LU runs at
+// reduced scale, serial vs pooled.
+func BenchmarkTraceBatchWorkers(b *testing.B) {
+	o := core.DefaultOptions()
+	var jobs []core.TraceJob
+	for _, hops := range []int{0, 3, 5, 15} {
+		jobs = append(jobs, core.TraceJob{Kernel: benchTraceCfg(npb.LU), Point: core.DesignPoint{
+			Base: tech.Electronic, Express: tech.HyPPI, Hops: hops}})
+	}
+	counts := []int{1, 4}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunTraceExperiments(context.Background(), jobs, o,
+					noc.DefaultConfig(), runner.Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(jobs) {
+					b.Fatalf("%d results", len(res))
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
+		})
+	}
 }
 
 // benchTraceCfg returns the reduced-scale NPB config used by the
@@ -273,6 +335,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg.Scale = 1.0 / 32
 	events := npb.MustGenerate(cfg)
 	var flitHops float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim, err := noc.New(net, tab, noc.DefaultConfig())

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	hyppi-all [-out results] [-scale 0.0625] [-skip-traces]
+//	hyppi-all [-out results] [-scale 0.0625] [-skip-traces] [-workers 0]
 //
 // The trace simulations (Fig. 6 / Table V) dominate the runtime (a few
-// minutes at the default scale); -skip-traces omits them.
+// minutes at the default scale); -skip-traces omits them. Independent
+// experiments run concurrently on a bounded worker pool (-workers 0 sizes
+// it to GOMAXPROCS) with results identical to a serial run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/npb"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/tech"
 )
 
@@ -28,19 +32,26 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale for trace runs")
 	skipTraces := flag.Bool("skip-traces", false, "skip the cycle-accurate trace simulations")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*out, *scale, *skipTraces); err != nil {
+	if err := run(*out, *scale, *skipTraces, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "hyppi-all:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, scale float64, skipTraces bool) error {
+func run(dir string, scale float64, skipTraces bool, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	o := core.DefaultOptions()
+	pool := runner.Config{Workers: workers, Progress: func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rtraces %d/%d", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}}
 
 	write := func(name string, fill func(*os.File) error) error {
 		path := filepath.Join(dir, name)
@@ -83,7 +94,8 @@ func run(dir string, scale float64, skipTraces bool) error {
 
 	// Fig. 5 + Tables III/IV.
 	if err := write("fig5_design_space.csv", func(f *os.File) error {
-		res, err := core.Explore(core.DefaultDesignSpace(), o)
+		res, err := core.ExploreContext(context.Background(), core.DefaultDesignSpace(), o,
+			runner.Config{Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -108,37 +120,31 @@ func run(dir string, scale float64, skipTraces bool) error {
 	}
 
 	// Fig. 6 + Table V: four kernels × (plain + three hop lengths) ×
-	// three express technologies for FT (Table V), HyPPI for the rest.
+	// three express technologies for FT (Table V), HyPPI for the rest —
+	// one batch of independent jobs for the worker pool, in the same
+	// order the historical serial loops produced.
 	return write("fig6_table5_traces.csv", func(f *os.File) error {
-		var results []core.TraceResult
-		runOne := func(k npb.Kernel, express tech.Technology, hops int) error {
+		var jobs []core.TraceJob
+		addJob := func(k npb.Kernel, express tech.Technology, hops int) {
 			cfg := npb.DefaultConfig(k)
 			cfg.Scale = scale
-			res, err := core.RunTraceExperiment(cfg,
-				core.DesignPoint{Base: tech.Electronic, Express: express, Hops: hops},
-				o, noc.DefaultConfig())
-			if err != nil {
-				return fmt.Errorf("%v/%v@%d: %w", k, express, hops, err)
-			}
-			results = append(results, res)
-			return nil
+			jobs = append(jobs, core.TraceJob{Kernel: cfg, Point: core.DesignPoint{
+				Base: tech.Electronic, Express: express, Hops: hops}})
 		}
 		for _, k := range npb.Kernels {
-			if err := runOne(k, tech.HyPPI, 0); err != nil {
-				return err
-			}
+			addJob(k, tech.HyPPI, 0)
 			for _, hops := range []int{3, 5, 15} {
-				if err := runOne(k, tech.HyPPI, hops); err != nil {
-					return err
-				}
+				addJob(k, tech.HyPPI, hops)
 			}
 		}
 		for _, express := range []tech.Technology{tech.Electronic, tech.Photonic} {
 			for _, hops := range []int{3, 5, 15} {
-				if err := runOne(npb.FT, express, hops); err != nil {
-					return err
-				}
+				addJob(npb.FT, express, hops)
 			}
+		}
+		results, err := core.RunTraceExperiments(context.Background(), jobs, o, noc.DefaultConfig(), pool)
+		if err != nil {
+			return err
 		}
 		return report.WriteTraceResults(f, results)
 	})

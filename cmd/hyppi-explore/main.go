@@ -6,16 +6,22 @@
 //
 // Usage:
 //
-//	hyppi-explore [-rate 0.1] [-seed 1] [-policy monotone|shortest]
+//	hyppi-explore [-rate 0.1] [-seed 1] [-policy monotone|shortest] [-workers 0]
+//
+// Design points are evaluated concurrently on a bounded worker pool
+// (-workers 0 sizes it to GOMAXPROCS); results are identical to a serial
+// sweep whatever the pool size.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/tech"
 )
 
@@ -23,6 +29,7 @@ func main() {
 	rate := flag.Float64("rate", 0.1, "maximum per-node injection rate (flits/cycle)")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	policy := flag.String("policy", "monotone", "routing policy: monotone or shortest")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	o := core.DefaultOptions()
@@ -38,7 +45,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	results, err := core.Explore(core.DefaultDesignSpace(), o)
+	points := core.DefaultDesignSpace()
+	results, err := core.ExploreContext(context.Background(), points, o, runner.Config{
+		Workers: *workers,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rexploring %d/%d design points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
 		os.Exit(1)

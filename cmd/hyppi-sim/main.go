@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	hyppi-sim [-kernel FT|CG|MG|LU|all] [-express HyPPI] [-scale 0.0625]
+//	hyppi-sim [-kernel FT|CG|MG|LU|all] [-express HyPPI] [-scale 0.0625] [-workers 0]
 //	hyppi-sim -trace file.txt [-express Photonic]
+//
+// The kernel × hop-length sweep runs as one batch of independent
+// simulations on a bounded worker pool (-workers 0 sizes it to GOMAXPROCS);
+// results are identical to a serial sweep whatever the pool size.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +24,14 @@ import (
 	"repro/internal/noc"
 	"repro/internal/npb"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
+
+// sweepHops are the express hop lengths of the Fig. 6 comparison.
+var sweepHops = []int{0, 3, 5, 15}
 
 func main() {
 	kernel := flag.String("kernel", "all", "kernel: FT, CG, MG, LU or all")
@@ -30,6 +39,7 @@ func main() {
 	express := flag.String("express", "HyPPI", "express link technology: Electronic, Photonic or HyPPI")
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
 	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	exTech, err := tech.ParseTechnology(*express)
@@ -38,9 +48,10 @@ func main() {
 		os.Exit(1)
 	}
 	o := core.DefaultOptions()
+	pool := runner.Config{Workers: *workers}
 
 	if *traceFile != "" {
-		if err := runExternal(*traceFile, exTech, o); err != nil {
+		if err := runExternal(*traceFile, exTech, o, pool); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
 			os.Exit(1)
 		}
@@ -57,22 +68,31 @@ func main() {
 		kernels = []npb.Kernel{k}
 	}
 
-	fmt.Printf("Fig. 6 — average packet latency (clks), express = %v\n", exTech)
-	fmt.Printf("%-8s %-12s %-12s %-12s %-12s %-18s\n",
-		"kernel", "mesh", "hops=3", "hops=5", "hops=15", "best speedup")
+	// One job per kernel × hop length, simulated concurrently.
+	var jobs []core.TraceJob
 	for _, k := range kernels {
 		cfg := npb.DefaultConfig(k)
 		cfg.Scale = *scale
 		cfg.Iterations = *iters
-		var lat [4]float64
-		var energy [4]float64
-		for i, hops := range []int{0, 3, 5, 15} {
-			point := core.DesignPoint{Base: tech.Electronic, Express: exTech, Hops: hops}
-			res, err := core.RunTraceExperiment(cfg, point, o, noc.DefaultConfig())
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "hyppi-sim: %v %v: %v\n", k, point, err)
-				os.Exit(1)
-			}
+		for _, hops := range sweepHops {
+			jobs = append(jobs, core.TraceJob{Kernel: cfg, Point: core.DesignPoint{
+				Base: tech.Electronic, Express: exTech, Hops: hops}})
+		}
+	}
+	results, err := core.RunTraceExperiments(context.Background(), jobs, o, noc.DefaultConfig(), pool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Fig. 6 — average packet latency (clks), express = %v\n", exTech)
+	fmt.Printf("%-8s %-12s %-12s %-12s %-12s %-18s\n",
+		"kernel", "mesh", "hops=3", "hops=5", "hops=15", "best speedup")
+	for ki, k := range kernels {
+		lat := make([]float64, len(sweepHops))
+		energy := make([]float64, len(sweepHops))
+		for i := range sweepHops {
+			res := results[ki*len(sweepHops)+i]
 			lat[i] = res.AvgLatencyClks
 			energy[i] = res.DynamicEnergyJ
 		}
@@ -96,8 +116,9 @@ func min3(a, b, c float64) float64 {
 	return m
 }
 
-// runExternal replays a trace file on mesh and hops=3/5/15 hybrids.
-func runExternal(path string, exTech tech.Technology, o core.Options) error {
+// runExternal replays a trace file on mesh and hops=3/5/15 hybrids, one
+// concurrent simulation per hop length (the parsed events are only read).
+func runExternal(path string, exTech tech.Technology, o core.Options, pool runner.Config) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -108,40 +129,53 @@ func runExternal(path string, exTech tech.Technology, o core.Options) error {
 		return err
 	}
 	fmt.Printf("trace %s: %d messages, %d bytes\n", path, len(events), trace.TotalBytes(events))
-	for _, hops := range []int{0, 3, 5, 15} {
-		c := o.Topology
-		c.BaseTech = tech.Electronic
-		c.ExpressTech = exTech
-		c.ExpressHops = hops
-		net, err := topology.Build(c)
-		if err != nil {
-			return err
-		}
-		tab, err := routing.Build(net, o.Policy)
-		if err != nil {
-			return err
-		}
-		packets, err := trace.Packetize(events, net.NumNodes(), trace.DefaultPacketize())
-		if err != nil {
-			return err
-		}
-		sim, err := noc.New(net, tab, noc.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		if err := sim.InjectAll(packets); err != nil {
-			return err
-		}
-		stats, err := sim.Run()
-		if err != nil {
-			return err
-		}
-		dynamic, static, err := core.PriceRun(net, stats, o.DSENT)
-		if err != nil {
-			return err
-		}
+	type hopResult struct {
+		latency  float64
+		dynamicJ float64
+		staticW  float64
+	}
+	results, err := runner.Map(context.Background(), len(sweepHops), pool,
+		func(_ context.Context, i int) (hopResult, error) {
+			c := o.Topology
+			c.BaseTech = tech.Electronic
+			c.ExpressTech = exTech
+			c.ExpressHops = sweepHops[i]
+			net, err := topology.Build(c)
+			if err != nil {
+				return hopResult{}, err
+			}
+			tab, err := routing.Build(net, o.Policy)
+			if err != nil {
+				return hopResult{}, err
+			}
+			packets, err := trace.Packetize(events, net.NumNodes(), trace.DefaultPacketize())
+			if err != nil {
+				return hopResult{}, err
+			}
+			sim, err := noc.New(net, tab, noc.DefaultConfig())
+			if err != nil {
+				return hopResult{}, err
+			}
+			if err := sim.InjectAll(packets); err != nil {
+				return hopResult{}, err
+			}
+			stats, err := sim.Run()
+			if err != nil {
+				return hopResult{}, err
+			}
+			dynamic, static, err := core.PriceRun(net, stats, o.DSENT)
+			if err != nil {
+				return hopResult{}, err
+			}
+			return hopResult{latency: stats.AvgPacketLatencyClks, dynamicJ: dynamic, staticW: static}, nil
+		})
+	if err != nil {
+		return err
+	}
+	for i, hops := range sweepHops {
+		r := results[i]
 		fmt.Printf("hops=%-3d latency %-10.2f dynamic %-12s static %.3f W\n",
-			hops, stats.AvgPacketLatencyClks, core.FormatEnergy(dynamic), static)
+			hops, r.latency, core.FormatEnergy(r.dynamicJ), r.staticW)
 	}
 	return nil
 }

@@ -17,7 +17,14 @@
 //	internal/trace     trace format + paper-style packetization
 //	internal/npb       synthetic NAS Parallel Benchmark traces
 //	internal/optical   all-optical routers and Fig. 8 projections
+//	internal/runner    bounded worker pool for parallel experiment batches
 //	internal/core      experiment façade tying it all together
+//
+// Experiment batches (the Fig. 5 design space, load-latency sweeps, NPB
+// trace runs) execute on internal/runner's worker pool: results are
+// collected in job order and every job is a pure function of its index, so
+// sweeps are bit-identical to a serial run at any pool size. See the
+// runner package documentation for the determinism contract.
 //
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results.

@@ -11,16 +11,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 func main() {
 	o := core.DefaultOptions()
-	results, err := core.Explore(core.DefaultDesignSpace(), o)
+	// The grid is a batch of independent jobs: walk it on a GOMAXPROCS
+	// worker pool. Results are identical to a serial sweep.
+	results, err := core.ExploreContext(context.Background(), core.DefaultDesignSpace(), o,
+		runner.Config{Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d design points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}})
 	if err != nil {
 		log.Fatal(err)
 	}

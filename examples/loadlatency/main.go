@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/noc"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/tech"
 	"repro/internal/topology"
@@ -27,23 +29,25 @@ func main() {
 	cfg := noc.DefaultConfig()
 	cfg.MaxCycles = 200000
 
-	curve := func(hops int) []noc.LoadPoint {
-		c := topology.DefaultConfig()
-		c.Width, c.Height = 8, 8
-		c.ExpressTech = tech.HyPPI
-		c.ExpressHops = hops
-		net := topology.MustBuild(c)
-		tab := routing.MustBuild(net, routing.MonotoneExpress)
-		base := traffic.Uniform(net, 0.1)
-		pts, err := noc.LoadLatencyCurve(net, tab, base, rates, w, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return pts
+	// Both curves, and every rate within a curve, are independent
+	// simulations: run the two topologies through the worker pool, and
+	// let LoadLatencyCurveContext fan the rates out on its own pool.
+	curves, err := runner.Map(context.Background(), 2, runner.Config{},
+		func(ctx context.Context, i int) ([]noc.LoadPoint, error) {
+			hops := []int{0, 3}[i]
+			c := topology.DefaultConfig()
+			c.Width, c.Height = 8, 8
+			c.ExpressTech = tech.HyPPI
+			c.ExpressHops = hops
+			net := topology.MustBuild(c)
+			tab := routing.MustBuild(net, routing.MonotoneExpress)
+			base := traffic.Uniform(net, 0.1)
+			return noc.LoadLatencyCurveContext(ctx, net, tab, base, rates, w, cfg, runner.Config{})
+		})
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	mesh := curve(0)
-	express := curve(3)
+	mesh, express := curves[0], curves[1]
 
 	tbl := stats.NewTable("rate", "mesh avg", "mesh p99", "express avg", "express p99")
 	cell := func(p noc.LoadPoint, q bool) string {

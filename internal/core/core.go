@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analytic"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/npb"
 	"repro/internal/optical"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -107,29 +109,41 @@ type ExplorationResult struct {
 // Explore runs the Section III-B evaluation across design points,
 // producing the Fig. 5 dataset (CLEAR, latency, power, area per point)
 // plus Table III (C, R) and Table IV (static power) values.
+//
+// Explore is a thin wrapper over ExploreContext with a default-sized worker
+// pool; because each design point is an independent, deterministic job and
+// results are collected in point order, its output is bit-identical to the
+// historical serial loop.
 func Explore(points []DesignPoint, o Options) ([]ExplorationResult, error) {
-	out := make([]ExplorationResult, 0, len(points))
+	return ExploreContext(context.Background(), points, o, runner.Config{})
+}
+
+// ExploreContext is Explore on an explicit context and worker-pool
+// configuration: design points are evaluated concurrently, the first
+// failure cancels the remaining points, and cfg.Progress observes
+// completions. Results are returned in point order whatever the pool size.
+func ExploreContext(ctx context.Context, points []DesignPoint, o Options, cfg runner.Config) ([]ExplorationResult, error) {
 	params := analytic.Params{DSENT: o.DSENT, RouterPipelineClks: o.RouterPipelineClks}
-	for _, p := range points {
+	return runner.Map(ctx, len(points), cfg, func(_ context.Context, i int) (ExplorationResult, error) {
+		p := points[i]
 		net, err := o.BuildNetwork(p)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v: %w", p, err)
+			return ExplorationResult{}, fmt.Errorf("core: %v: %w", p, err)
 		}
 		tab, err := routing.Build(net, o.Policy)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v: %w", p, err)
+			return ExplorationResult{}, fmt.Errorf("core: %v: %w", p, err)
 		}
 		tm, err := traffic.Soteriou(net, o.Traffic)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v: %w", p, err)
+			return ExplorationResult{}, fmt.Errorf("core: %v: %w", p, err)
 		}
 		res, err := analytic.Evaluate(net, tab, tm, params)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v: %w", p, err)
+			return ExplorationResult{}, fmt.Errorf("core: %v: %w", p, err)
 		}
-		out = append(out, ExplorationResult{Point: p, Result: res})
-	}
-	return out, nil
+		return ExplorationResult{Point: p, Result: res}, nil
+	})
 }
 
 // LinkSweep regenerates the Fig. 3 dataset on the default length grid.
@@ -195,6 +209,28 @@ func RunTraceExperiment(kernel npb.Config, point DesignPoint, o Options, nocCfg 
 		StaticPowerW:   static,
 		Stats:          stats,
 	}, nil
+}
+
+// TraceJob names one trace experiment of a batch: an NPB kernel
+// configuration simulated on one design point.
+type TraceJob struct {
+	Kernel npb.Config
+	Point  DesignPoint
+}
+
+// RunTraceExperiments executes a batch of independent trace simulations on
+// a bounded worker pool, returning results in job order. Each job is a full
+// RunTraceExperiment — trace generation, packetization, cycle-accurate
+// simulation and DSENT pricing — so per-job results are bit-identical to
+// running the jobs serially. The first failure cancels the remaining jobs.
+func RunTraceExperiments(ctx context.Context, jobs []TraceJob, o Options, nocCfg noc.Config, cfg runner.Config) ([]TraceResult, error) {
+	return runner.Map(ctx, len(jobs), cfg, func(_ context.Context, i int) (TraceResult, error) {
+		res, err := RunTraceExperiment(jobs[i].Kernel, jobs[i].Point, o, nocCfg)
+		if err != nil {
+			return TraceResult{}, fmt.Errorf("core: %v on %v: %w", jobs[i].Kernel.Kernel, jobs[i].Point, err)
+		}
+		return res, nil
+	})
 }
 
 // PriceRun converts simulator flit counters into total dynamic energy and

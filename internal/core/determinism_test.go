@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/npb"
+	"repro/internal/runner"
+	"repro/internal/tech"
+)
+
+// TestExploreSerialParallelIdentical: the concurrent engine must return
+// bit-identical ExplorationResults to the serial path for every worker
+// count — the core determinism contract of the runner rewiring. Run with
+// -race to also catch data races between jobs.
+func TestExploreSerialParallelIdentical(t *testing.T) {
+	o := DefaultOptions()
+	pts := DefaultDesignSpace()
+	workerCounts := []int{2, 4, 8}
+	if testing.Short() {
+		// A slice of the space across fewer pool sizes keeps the check
+		// meaningful at a fraction of the cost.
+		pts = pts[:6]
+		workerCounts = []int{3}
+	}
+	serial, err := ExploreContext(context.Background(), pts, o, runner.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts {
+		par, err := ExploreContext(context.Background(), pts, o, runner.Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], par[i]) {
+				t.Errorf("workers=%d: result %d (%v) differs:\nserial:   %+v\nparallel: %+v",
+					workers, i, pts[i], serial[i], par[i])
+			}
+		}
+	}
+}
+
+// TestTraceExperimentsSerialParallelIdentical: batched cycle-accurate trace
+// runs are bit-identical across worker counts (same seed, any pool size).
+func TestTraceExperimentsSerialParallelIdentical(t *testing.T) {
+	o := DefaultOptions()
+	k := npb.DefaultConfig(npb.LU)
+	k.Iterations = 1
+	k.Scale = 1.0 / 64
+	var jobs []TraceJob
+	for _, hops := range []int{0, 3, 5} {
+		jobs = append(jobs, TraceJob{Kernel: k, Point: DesignPoint{
+			Base: tech.Electronic, Express: tech.HyPPI, Hops: hops}})
+	}
+	serial, err := RunTraceExperiments(context.Background(), jobs, o, noc.DefaultConfig(), runner.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTraceExperiments(context.Background(), jobs, o, noc.DefaultConfig(), runner.Config{Workers: len(jobs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], par[i]) {
+			t.Errorf("job %d (%v): serial and parallel TraceResults differ", i, jobs[i].Point)
+		}
+	}
+}
+
+// TestExploreCancellationPropagates: a cancelled context aborts the sweep
+// with context.Canceled instead of returning partial results.
+func TestExploreCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ExploreContext(ctx, DefaultDesignSpace(), DefaultOptions(), runner.Config{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled sweep must not return results")
+	}
+}
+
+// TestExploreParallelErrorMatchesSerial: an invalid design point fails the
+// parallel sweep with the same per-point error the serial path reports.
+func TestExploreParallelErrorMatchesSerial(t *testing.T) {
+	o := DefaultOptions()
+	pts := DefaultDesignSpace()
+	if testing.Short() {
+		pts = pts[:2]
+	}
+	pts = append(pts, DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 99})
+	_, serialErr := ExploreContext(context.Background(), pts, o, runner.Config{Workers: 1})
+	_, parErr := ExploreContext(context.Background(), pts, o, runner.Config{Workers: 8})
+	if serialErr == nil || parErr == nil {
+		t.Fatalf("both paths must fail: serial=%v parallel=%v", serialErr, parErr)
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Errorf("error mismatch:\nserial:   %v\nparallel: %v", serialErr, parErr)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/npb"
+	"repro/internal/tech"
+)
+
+// update regenerates testdata/golden.json from the current implementation:
+//
+//	go test ./internal/core -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFile locks the key paper numbers so refactors cannot silently
+// drift from the reproduced results.
+type goldenFile struct {
+	// Fig3 samples the link-level CLEAR curves (Fig. 3) at a few lengths.
+	Fig3 []goldenFig3 `json:"fig3_link_clear"`
+	// Table3 holds capability C and utilization growth R (Table III).
+	Table3 []goldenTable3 `json:"table3_capability_r"`
+	// Fig5Best is the best-CLEAR design point of the Fig. 5 space.
+	Fig5Best goldenFig5 `json:"fig5_best_design_point"`
+	// TraceLU pins a small cycle-accurate LU trace run end to end.
+	TraceLU goldenTrace `json:"trace_lu_small"`
+}
+
+type goldenFig3 struct {
+	LengthM float64            `json:"length_m"`
+	CLEAR   map[string]float64 `json:"clear"`
+}
+
+type goldenTable3 struct {
+	Hops           int     `json:"hops"`
+	CapabilityGbps float64 `json:"capability_gbps_per_node"`
+	UtilizationR   float64 `json:"r"`
+	CLEAR          float64 `json:"clear"`
+	AvgLatencyClks float64 `json:"avg_latency_clks"`
+	StaticW        float64 `json:"static_w"`
+}
+
+type goldenFig5 struct {
+	Point string  `json:"point"`
+	CLEAR float64 `json:"clear"`
+}
+
+type goldenTrace struct {
+	AvgLatencyClks float64 `json:"avg_latency_clks"`
+	DynamicEnergyJ float64 `json:"dynamic_energy_j"`
+	StaticPowerW   float64 `json:"static_power_w"`
+	Cycles         int64   `json:"cycles"`
+	FlitsEjected   int64   `json:"flits_ejected"`
+}
+
+// computeGolden regenerates every locked quantity from the implementation.
+func computeGolden(t *testing.T) goldenFile {
+	t.Helper()
+	var g goldenFile
+
+	// Fig. 3: link CLEAR at representative lengths (first, crossover
+	// region, chip scale, last).
+	pts, err := LinkSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 12, 25, 38, 50} {
+		p := pts[idx]
+		clear := make(map[string]float64, len(p.CLEAR))
+		for tch, v := range p.CLEAR {
+			clear[tch.String()] = v
+		}
+		g.Fig3 = append(g.Fig3, goldenFig3{LengthM: p.LengthM, CLEAR: clear})
+	}
+
+	// Table III: E base + HyPPI express at the paper's hop lengths.
+	o := DefaultOptions()
+	var t3pts []DesignPoint
+	hops := []int{0, 3, 5, 15}
+	for _, h := range hops {
+		t3pts = append(t3pts, DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: h})
+	}
+	res, err := Explore(t3pts, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		g.Table3 = append(g.Table3, goldenTable3{
+			Hops:           hops[i],
+			CapabilityGbps: r.CapabilityGbpsPerNode,
+			UtilizationR:   r.R,
+			CLEAR:          r.CLEAR,
+			AvgLatencyClks: r.AvgLatencyClks,
+			StaticW:        r.StaticW,
+		})
+	}
+
+	// Fig. 5: best-CLEAR point of the full design space.
+	all, err := Explore(DefaultDesignSpace(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := all[0]
+	for _, r := range all[1:] {
+		if r.CLEAR > best.CLEAR {
+			best = r
+		}
+	}
+	g.Fig5Best = goldenFig5{Point: best.Point.String(), CLEAR: best.CLEAR}
+
+	// Small LU trace through the cycle-accurate simulator: locks the
+	// simulator's exact behaviour (latency, counters) and DSENT pricing.
+	k := npb.DefaultConfig(npb.LU)
+	k.Iterations = 1
+	k.Scale = 1.0 / 64
+	tr, err := RunTraceExperiment(k, DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
+		o, noc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.TraceLU = goldenTrace{
+		AvgLatencyClks: tr.AvgLatencyClks,
+		DynamicEnergyJ: tr.DynamicEnergyJ,
+		StaticPowerW:   tr.StaticPowerW,
+		Cycles:         tr.Stats.Cycles,
+		FlitsEjected:   tr.Stats.FlitsEjected,
+	}
+	return g
+}
+
+// closeEnough compares locked floats with a tight relative tolerance: the
+// pipeline is deterministic, so the slack only absorbs cross-platform
+// floating-point variation (e.g. FMA contraction).
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den < 1e-9
+}
+
+// TestGoldenPaperNumbers compares the regenerated key results against
+// testdata/golden.json.
+func TestGoldenPaperNumbers(t *testing.T) {
+	if testing.Short() {
+		// The locked values need the full design space and a trace run;
+		// they are regenerated and compared only in full test mode.
+		t.Skip("golden comparison runs in full (non -short) mode")
+	}
+	path := filepath.Join("testdata", "golden.json")
+	got := computeGolden(t)
+
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Fig3) != len(want.Fig3) {
+		t.Fatalf("fig3: %d points, want %d", len(got.Fig3), len(want.Fig3))
+	}
+	for i, w := range want.Fig3 {
+		gp := got.Fig3[i]
+		if !closeEnough(gp.LengthM, w.LengthM) {
+			t.Errorf("fig3[%d]: length %v, want %v", i, gp.LengthM, w.LengthM)
+		}
+		for tchName, wv := range w.CLEAR {
+			if gv, ok := gp.CLEAR[tchName]; !ok || !closeEnough(gv, wv) {
+				t.Errorf("fig3[%d] %s: CLEAR %v, want %v", i, tchName, gp.CLEAR[tchName], wv)
+			}
+		}
+	}
+
+	if len(got.Table3) != len(want.Table3) {
+		t.Fatalf("table3: %d rows, want %d", len(got.Table3), len(want.Table3))
+	}
+	for i, w := range want.Table3 {
+		gr := got.Table3[i]
+		if gr.Hops != w.Hops ||
+			!closeEnough(gr.CapabilityGbps, w.CapabilityGbps) ||
+			!closeEnough(gr.UtilizationR, w.UtilizationR) ||
+			!closeEnough(gr.CLEAR, w.CLEAR) ||
+			!closeEnough(gr.AvgLatencyClks, w.AvgLatencyClks) ||
+			!closeEnough(gr.StaticW, w.StaticW) {
+			t.Errorf("table3[%d]: got %+v, want %+v", i, gr, w)
+		}
+	}
+
+	if got.Fig5Best.Point != want.Fig5Best.Point {
+		t.Errorf("fig5 best point %q, want %q", got.Fig5Best.Point, want.Fig5Best.Point)
+	}
+	if !closeEnough(got.Fig5Best.CLEAR, want.Fig5Best.CLEAR) {
+		t.Errorf("fig5 best CLEAR %v, want %v", got.Fig5Best.CLEAR, want.Fig5Best.CLEAR)
+	}
+
+	if !closeEnough(got.TraceLU.AvgLatencyClks, want.TraceLU.AvgLatencyClks) ||
+		!closeEnough(got.TraceLU.DynamicEnergyJ, want.TraceLU.DynamicEnergyJ) ||
+		!closeEnough(got.TraceLU.StaticPowerW, want.TraceLU.StaticPowerW) ||
+		got.TraceLU.Cycles != want.TraceLU.Cycles ||
+		got.TraceLU.FlitsEjected != want.TraceLU.FlitsEjected {
+		t.Errorf("trace LU: got %+v, want %+v", got.TraceLU, want.TraceLU)
+	}
+}

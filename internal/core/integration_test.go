@@ -19,11 +19,19 @@ import (
 // code beyond the routing tables.
 func TestAnalyticMatchesSimulatorAtLowLoad(t *testing.T) {
 	o := DefaultOptions()
-	for _, point := range []DesignPoint{
+	// Short mode: a smaller generation window still yields enough packets
+	// for a stable mean at these rates.
+	cycles, minPackets := int64(30000), int64(1000)
+	points := []DesignPoint{
 		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
 		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
 		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 15},
-	} {
+	}
+	if testing.Short() {
+		cycles, minPackets = 5000, 150
+		points = points[:2]
+	}
+	for _, point := range points {
 		net, err := o.BuildNetwork(point)
 		if err != nil {
 			t.Fatal(err)
@@ -40,7 +48,7 @@ func TestAnalyticMatchesSimulatorAtLowLoad(t *testing.T) {
 
 		// Light load: 0.01 flits/cycle peak, single-flit packets, so
 		// simulated latency ≈ zero-load head latency.
-		w := noc.BernoulliWorkload{SizeFlits: 1, Cycles: 30000, Seed: 17}
+		w := noc.BernoulliWorkload{SizeFlits: 1, Cycles: cycles, Seed: 17}
 		pkts, err := w.Generate(net, tm.ScaledToMaxRate(0.01))
 		if err != nil {
 			t.Fatal(err)
@@ -56,7 +64,7 @@ func TestAnalyticMatchesSimulatorAtLowLoad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.PacketsEjected < 1000 {
+		if st.PacketsEjected < minPackets {
 			t.Fatalf("%v: too few packets (%d) for a stable mean", point, st.PacketsEjected)
 		}
 		if !units.WithinFactor(st.AvgPacketLatencyClks, ana.AvgLatencyClks, 1.20) {
@@ -91,7 +99,10 @@ func TestSimulatorEnergyMatchesAnalyticLoads(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	const cycles = 20000
+	cycles := int64(20000)
+	if testing.Short() {
+		cycles = 2500
+	}
 	w := noc.BernoulliWorkload{SizeFlits: 1, Cycles: cycles, Seed: 23}
 	pkts, err := w.Generate(net, tm)
 	if err != nil {
@@ -113,7 +124,7 @@ func TestSimulatorEnergyMatchesAnalyticLoads(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Analytic dynamic power × injection window duration.
-	wantJ := ana.DynamicW * cycles / o.DSENT.ClockHz
+	wantJ := ana.DynamicW * float64(cycles) / o.DSENT.ClockHz
 	if !units.WithinFactor(dynamicJ, wantJ, 1.25) {
 		t.Errorf("simulated dynamic energy %v J vs analytic %v J (want within 25%%)", dynamicJ, wantJ)
 	}

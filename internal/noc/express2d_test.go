@@ -51,7 +51,10 @@ func TestExpress2DTorusHeavyLoadNoDeadlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(21))
-	const horizon = 2500
+	horizon := 2500
+	if testing.Short() {
+		horizon = 500
+	}
 	for node := 0; node < net.NumNodes(); node++ {
 		for cyc := 0; cyc < horizon; cyc++ {
 			if rng.Float64() < 0.1/4.0 {

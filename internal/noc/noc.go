@@ -107,9 +107,64 @@ type bufEntry struct {
 	ready int64
 }
 
+// ring is a fixed-capacity circular FIFO. The simulator's queues are all
+// bounded (VC buffers by BufDepthFlits, channels by the credit loop), so
+// after New the hot path performs no queue allocations; grow exists only as
+// a defensive fallback should a bound ever be exceeded.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func newRing[T any](capacity int) ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) len() int  { return r.n }
+func (r *ring[T]) front() *T { return &r.buf[r.head] }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() T {
+	v := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return v
+}
+
+func (r *ring[T]) grow() {
+	buf := make([]T, 2*len(r.buf))
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		buf[i] = r.buf[j]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // vcState is one input virtual channel.
 type vcState struct {
-	q []bufEntry
+	q ring[bufEntry]
 	// routed marks that the head packet has a computed output.
 	routed bool
 	// outPort is the routed output port index (0 = ejection).
@@ -162,7 +217,7 @@ type router struct {
 
 // linkPipe carries in-flight flits over one channel.
 type linkPipe struct {
-	q []linkEntry
+	q ring[linkEntry]
 }
 
 type linkEntry struct {
@@ -211,6 +266,9 @@ type Sim struct {
 	totalBuf int64
 	inflight int64
 	scratch  []int32
+	// cand is the switch allocator's per-cycle candidate scratch (one slot
+	// per input port of the widest router), reused across cycles.
+	cand []int
 
 	// classed enables dateline VC-class partitioning: required for the
 	// torus-like hops = Width−1 topology, where packets crossing a row
@@ -277,9 +335,13 @@ func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
 		for p := range r.in {
 			r.in[p] = make([]vcState, cfg.VCs)
 			for v := range r.in[p] {
+				r.in[p][v].q = newRing[bufEntry](cfg.BufDepthFlits)
 				r.in[p][v].outVC = -1
 				r.in[p][v].writer = -1
 			}
+		}
+		if len(r.in) > len(s.cand) {
+			s.cand = make([]int, len(r.in))
 		}
 		// Output 0: ejection (ideal sink, no credit bound).
 		r.out[0] = outState{link: -1}
@@ -313,6 +375,11 @@ func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
 		}
 		r.out[0].owner = ej
 		s.routers[id] = r
+	}
+	// Credit-based flow control bounds in-flight flits per channel at the
+	// downstream buffer pool, so the pipes never grow past this capacity.
+	for i := range s.pipes {
+		s.pipes[i].q = newRing[linkEntry](cfg.VCs * cfg.BufDepthFlits)
 	}
 	return s, nil
 }
@@ -359,6 +426,7 @@ func (s *Sim) Run() (Stats, error) {
 	if maxCycles == 0 {
 		maxCycles = 1 << 40
 	}
+	s.latencies.Grow(len(s.pkts))
 	remaining := int64(len(s.pkts))
 	for remaining > 0 {
 		if s.now >= maxCycles {
@@ -413,14 +481,13 @@ func (s *Sim) Run() (Stats, error) {
 func (s *Sim) deliverLinkArrivals() {
 	for lid := range s.pipes {
 		pipe := &s.pipes[lid]
-		for len(pipe.q) > 0 && pipe.q[0].arrive <= s.now {
-			e := pipe.q[0]
-			pipe.q = pipe.q[1:]
+		for pipe.q.len() > 0 && pipe.q.front().arrive <= s.now {
+			e := pipe.q.pop()
 			l := s.net.Links[lid]
 			r := &s.routers[l.Dst]
 			port := s.inPortOf[lid]
 			vc := &r.in[port][e.f.vc]
-			vc.q = append(vc.q, bufEntry{f: e.f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
+			vc.q.push(bufEntry{f: e.f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
 			s.stats.RouterFlits[l.Dst]++
 			s.buffered[l.Dst]++
 			s.totalBuf++
@@ -450,7 +517,7 @@ func (s *Sim) injectFromSources() {
 			vcIdx = -1
 			for v := 0; v < s.cfg.VCs; v++ {
 				vc := &r.in[0][v]
-				if vc.writer == -1 && len(vc.q) < s.cfg.BufDepthFlits {
+				if vc.writer == -1 && vc.q.len() < s.cfg.BufDepthFlits {
 					vcIdx = int8(v)
 					break
 				}
@@ -463,7 +530,7 @@ func (s *Sim) injectFromSources() {
 		} else {
 			vcIdx = s.srcVC[node]
 			vc := &r.in[0][vcIdx]
-			if len(vc.q) >= s.cfg.BufDepthFlits {
+			if vc.q.len() >= s.cfg.BufDepthFlits {
 				continue // wait for space
 			}
 		}
@@ -475,7 +542,7 @@ func (s *Sim) injectFromSources() {
 			head: seq == 0,
 			tail: int(seq) == p.SizeFlits-1,
 		}
-		vc.q = append(vc.q, bufEntry{f: f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
+		vc.q.push(bufEntry{f: f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
 		s.stats.FlitsInjected++
 		s.stats.RouterFlits[node]++
 		s.buffered[node]++
@@ -506,11 +573,12 @@ func (s *Sim) routeAndAllocateVCs() {
 		for p := range r.in {
 			for v := range r.in[p] {
 				vc := &r.in[p][v]
-				if len(vc.q) == 0 || vc.routed || !vc.q[0].f.head {
+				if vc.q.len() == 0 || vc.routed || !vc.q.front().f.head {
 					continue
 				}
-				dst := s.pkts[vc.q[0].f.pkt].Dst
-				vc.outCls = vc.q[0].f.cls
+				head := vc.q.front()
+				dst := s.pkts[head.f.pkt].Dst
+				vc.outCls = head.f.cls
 				if topology.NodeID(rid) == dst {
 					vc.outPort = 0
 				} else {
@@ -538,7 +606,7 @@ func (s *Sim) routeAndAllocateVCs() {
 			for p := range r.in {
 				for v := range r.in[p] {
 					vc := &r.in[p][v]
-					if vc.routed && vc.outVC < 0 && int(vc.outPort) == op && len(vc.q) > 0 {
+					if vc.routed && vc.outVC < 0 && int(vc.outPort) == op && vc.q.len() > 0 {
 						reqs = append(reqs, int32(p*s.cfg.VCs+v))
 					}
 				}
@@ -587,18 +655,17 @@ func (s *Sim) switchAllocateAndSend() int64 {
 		}
 		r := &s.routers[rid]
 		// Input stage: pick one eligible VC per input port.
-		cand := make([]int, len(r.in)) // VC index per port, -1 = none
+		cand := s.cand[:len(r.in)] // VC index per port, -1 = none
 		for p := range r.in {
 			cand[p] = -1
 			ptr := r.inSAPtr[p]
 			for k := 0; k < s.cfg.VCs; k++ {
 				v := (ptr + k) % s.cfg.VCs
 				vc := &r.in[p][v]
-				if len(vc.q) == 0 || !vc.routed || vc.outVC < 0 {
+				if vc.q.len() == 0 || !vc.routed || vc.outVC < 0 {
 					continue
 				}
-				e := vc.q[0]
-				if e.ready > s.now {
+				if vc.q.front().ready > s.now {
 					continue
 				}
 				out := &r.out[vc.outPort]
@@ -643,8 +710,7 @@ func (s *Sim) switchAllocateAndSend() int64 {
 func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 	r := &s.routers[rid]
 	vc := &r.in[port][v]
-	e := vc.q[0]
-	vc.q = vc.q[1:]
+	e := vc.q.pop()
 	out := &r.out[op]
 	r.inSAPtr[port] = v + 1
 	s.buffered[rid]--
@@ -686,7 +752,7 @@ func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 		f.vc = int8(vc.outVC)
 		f.cls = vc.outCls
 		f.head = e.f.head
-		s.pipes[lid].q = append(s.pipes[lid].q, linkEntry{
+		s.pipes[lid].q.push(linkEntry{
 			f:      f,
 			arrive: s.now + 1 + int64(l.LatencyClks),
 		})

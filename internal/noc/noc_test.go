@@ -403,7 +403,10 @@ func TestHeavyRandomLoadNoDeadlock(t *testing.T) {
 	net, tab := smallMesh(t, 16, 16, 3)
 	s := newSim(t, net, tab)
 	rng := rand.New(rand.NewSource(11))
-	const horizon = 3000
+	horizon := 3000
+	if testing.Short() {
+		horizon = 500
+	}
 	for node := 0; node < net.NumNodes(); node++ {
 		for cyc := 0; cyc < horizon; cyc++ {
 			if rng.Float64() < 0.1/4.0 { // ~0.1 flits/cycle with avg 4-flit packets

@@ -1,10 +1,12 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -111,22 +113,33 @@ type LoadPoint struct {
 // a Bernoulli workload per point, and returns the classic load-latency
 // curve used to locate network saturation. Points that fail to drain within
 // the configured MaxCycles are flagged Saturated rather than failing the
-// sweep.
+// sweep. It is a thin wrapper over LoadLatencyCurveContext with a
+// default-sized worker pool; each rate is an independent deterministic
+// simulation, so the curve is bit-identical to the historical serial sweep.
 func LoadLatencyCurve(net *topology.Network, tab *routing.Table, base *traffic.Matrix,
 	rates []float64, w BernoulliWorkload, cfg Config) ([]LoadPoint, error) {
-	out := make([]LoadPoint, 0, len(rates))
-	for _, r := range rates {
+	return LoadLatencyCurveContext(context.Background(), net, tab, base, rates, w, cfg, runner.Config{})
+}
+
+// LoadLatencyCurveContext is LoadLatencyCurve on an explicit context and
+// worker-pool configuration: one Sim instance per rate, run concurrently.
+// The shared network, table and base matrix are only read.
+func LoadLatencyCurveContext(ctx context.Context, net *topology.Network, tab *routing.Table,
+	base *traffic.Matrix, rates []float64, w BernoulliWorkload, cfg Config,
+	pool runner.Config) ([]LoadPoint, error) {
+	return runner.Map(ctx, len(rates), pool, func(_ context.Context, i int) (LoadPoint, error) {
+		r := rates[i]
 		tm := base.ScaledToMaxRate(r)
 		pkts, err := w.Generate(net, tm)
 		if err != nil {
-			return nil, err
+			return LoadPoint{}, err
 		}
 		sim, err := New(net, tab, cfg)
 		if err != nil {
-			return nil, err
+			return LoadPoint{}, err
 		}
 		if err := sim.InjectAll(pkts); err != nil {
-			return nil, err
+			return LoadPoint{}, err
 		}
 		st, err := sim.Run()
 		pt := LoadPoint{InjectionRate: r}
@@ -136,7 +149,6 @@ func LoadLatencyCurve(net *topology.Network, tab *routing.Table, base *traffic.M
 			pt.AvgLatencyClks = st.AvgPacketLatencyClks
 			pt.P99LatencyClks = st.P99PacketLatencyClks
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }

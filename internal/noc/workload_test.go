@@ -93,6 +93,9 @@ func TestBernoulliValidation(t *testing.T) {
 func TestLoadLatencyCurveShape(t *testing.T) {
 	net, tab, tm := workloadNet(t)
 	w := BernoulliWorkload{SizeFlits: 1, Cycles: 4000, Seed: 7}
+	if testing.Short() {
+		w.Cycles = 800
+	}
 	cfg := DefaultConfig()
 	rates := []float64{0.02, 0.2, 0.45}
 	pts, err := LoadLatencyCurve(net, tab, tm, rates, w, cfg)
@@ -126,6 +129,9 @@ func TestLoadLatencySaturationFlagged(t *testing.T) {
 	w := BernoulliWorkload{SizeFlits: 1, Cycles: 4000, Seed: 7}
 	cfg := DefaultConfig()
 	cfg.MaxCycles = 6000 // tight cap: overload cannot drain in time
+	if testing.Short() {
+		w.Cycles, cfg.MaxCycles = 800, 1200
+	}
 	pts, err := LoadLatencyCurve(net, tab, tm, []float64{0.95}, w, cfg)
 	if err != nil {
 		t.Fatal(err)

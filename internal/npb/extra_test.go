@@ -64,19 +64,29 @@ func TestExtensionKernelsRoundTrip(t *testing.T) {
 		if err != nil || got != k {
 			t.Errorf("ParseKernel(%q) = %v, %v", k.String(), got, err)
 		}
-		ev := MustGenerate(DefaultConfig(k))
+		cfg := DefaultConfig(k)
+		if testing.Short() {
+			cfg.GridW, cfg.GridH = 8, 8
+			cfg.Scale = 1.0 / 128
+		}
+		ev := MustGenerate(cfg)
 		if len(ev) == 0 {
 			t.Errorf("%v: empty trace", k)
 		}
-		if _, err := trace.Packetize(ev, 256, trace.DefaultPacketize()); err != nil {
+		if _, err := trace.Packetize(ev, cfg.GridW*cfg.GridH, trace.DefaultPacketize()); err != nil {
 			t.Errorf("%v: packetize: %v", k, err)
 		}
 	}
 }
 
 func TestISDeterminism(t *testing.T) {
-	a := MustGenerate(DefaultConfig(IS))
-	b := MustGenerate(DefaultConfig(IS))
+	cfg := DefaultConfig(IS)
+	if testing.Short() {
+		cfg.GridW, cfg.GridH = 8, 8
+		cfg.Scale = 1.0 / 128
+	}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
 	if len(a) != len(b) {
 		t.Fatal("lengths differ")
 	}

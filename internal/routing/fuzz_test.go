@@ -1,0 +1,96 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// FuzzRouteNext fuzzes grid shape, express hop length, endpoints and policy,
+// walking the routed path hop by hop and asserting the table invariants:
+//
+//   - every pair routes to its destination without revisiting a node;
+//   - the walk never exceeds the dimension budget Width+Height (the same
+//     bound the BFS table construction guarantees for its longest path);
+//   - under ShortestHops, every hop strictly decreases an independently
+//     computed BFS distance, so the path length equals the BFS distance.
+func FuzzRouteNext(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(0), uint8(3), uint8(14), false)
+	f.Add(uint8(8), uint8(8), uint8(3), uint8(0), uint8(63), true)
+	f.Add(uint8(16), uint8(4), uint8(15), uint8(1), uint8(40), false)
+	f.Add(uint8(16), uint8(16), uint8(15), uint8(255), uint8(0), true)
+	f.Add(uint8(5), uint8(3), uint8(2), uint8(7), uint8(7), true)
+	f.Add(uint8(2), uint8(1), uint8(1), uint8(0), uint8(1), false)
+	f.Fuzz(func(t *testing.T, w, h, hops, srcRaw, dstRaw uint8, shortest bool) {
+		c := topology.DefaultConfig()
+		c.Width = 2 + int(w%15)  // 2..16
+		c.Height = 1 + int(h%16) // 1..16
+		c.ExpressHops = int(hops) % c.Width
+		c.ExpressTech = tech.HyPPI
+		net, err := topology.Build(c)
+		if err != nil {
+			t.Skip() // configuration legitimately rejected
+		}
+		policy := MonotoneExpress
+		if shortest {
+			policy = ShortestHops
+		}
+		tab, err := Build(net, policy)
+		if err != nil {
+			t.Fatalf("Build(%dx%d hops=%d, %v): %v", c.Width, c.Height, c.ExpressHops, policy, err)
+		}
+
+		nn := net.NumNodes()
+		src := topology.NodeID(int(srcRaw) % nn)
+		dst := topology.NodeID(int(dstRaw) % nn)
+
+		// Independent BFS hop distances to dst (reverse edge walk).
+		dist := make([]int, nn)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue := []topology.NodeID{dst}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, lid := range net.InLinks(v) {
+				u := net.Links[lid].Src
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+
+		bound := c.Width + c.Height
+		visited := make(map[topology.NodeID]bool, bound)
+		visited[src] = true
+		at := src
+		steps := 0
+		for at != dst {
+			lid := tab.NextLink(at, dst)
+			if lid < 0 {
+				t.Fatalf("%v %d->%d: no route at %d", policy, src, dst, at)
+			}
+			next := net.Links[lid].Dst
+			if shortest && dist[next] != dist[at]-1 {
+				t.Fatalf("ShortestHops %d->%d: hop %d->%d does not make BFS progress (%d -> %d)",
+					src, dst, at, next, dist[at], dist[next])
+			}
+			if visited[next] {
+				t.Fatalf("%v %d->%d: revisits node %d", policy, src, dst, next)
+			}
+			visited[next] = true
+			at = next
+			steps++
+			if steps > bound {
+				t.Fatalf("%v %d->%d: path exceeds %d hops", policy, src, dst, bound)
+			}
+		}
+		if shortest && steps != dist[src] {
+			t.Fatalf("ShortestHops %d->%d: %d hops, BFS distance %d", src, dst, steps, dist[src])
+		}
+	})
+}

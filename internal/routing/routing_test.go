@@ -309,7 +309,11 @@ func TestHopCountSymmetryProperty(t *testing.T) {
 // or preserve hop counts relative to the plain mesh, for both policies.
 func TestExpressNeverLengthensRoutes(t *testing.T) {
 	plain := buildNet(t, 0, tech.Electronic)
-	for _, hops := range []int{3, 5, 15} {
+	hopsList := []int{3, 5, 15}
+	if testing.Short() {
+		hopsList = []int{3}
+	}
+	for _, hops := range hopsList {
 		express := buildNet(t, hops, tech.HyPPI)
 		for _, pol := range allPolicies() {
 			pt := MustBuild(plain, pol)

@@ -1,0 +1,175 @@
+// Package runner is the concurrent experiment engine behind the
+// repository's design-space sweeps: a bounded worker pool executing
+// independent jobs with deterministic per-job seeding, ordered result
+// collection, first-error cancellation and progress reporting.
+//
+// Every experiment batch in this repository — the Fig. 5 design-space
+// exploration, the Fig. 4-style load-latency sweeps and the Fig. 6 NPB
+// trace runs — is embarrassingly parallel: jobs share no mutable state and
+// each is a pure function of its index plus read-only inputs. Map exploits
+// exactly that shape.
+//
+// # Determinism contract
+//
+// Map guarantees that results are independent of the worker count and of
+// the order in which jobs happen to complete:
+//
+//   - results are collected by job index, so out[i] always holds job i's
+//     value — the ordering of a serial loop;
+//   - jobs must not share mutable state; per-job randomness should derive
+//     its seed from the job index (see Seed), never from a shared RNG;
+//   - with these rules, Map(…, Config{Workers: 1}, …) and
+//     Map(…, Config{Workers: 64}, …) return bit-identical slices.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config controls one pool run.
+type Config struct {
+	// Workers is the number of concurrent workers. Zero or negative
+	// selects runtime.GOMAXPROCS(0); the count is further capped at the
+	// job count.
+	Workers int
+	// Progress, when non-nil, is called after each job completes with the
+	// number of finished jobs and the batch total. Calls are serialized
+	// and done increases monotonically, but — under more than one worker
+	// — not necessarily in job-index order.
+	Progress func(done, total int)
+}
+
+// workerCount resolves the effective pool size for a batch of n jobs.
+func (c Config) workerCount(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a bounded worker pool and
+// returns the results in job-index order. The first job error cancels the
+// context passed to the remaining jobs and is returned after all started
+// jobs finish; when several jobs fail, the lowest-indexed non-cancellation
+// error wins, making the reported error deterministic. A single worker
+// degenerates to a plain serial loop in the caller's goroutine.
+func Map[T any](ctx context.Context, n int, cfg Config, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative job count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	workers := cfg.workerCount(n)
+	if workers == 1 {
+		// Serial fast path: identical to the historical sweep loops.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+			if cfg.Progress != nil {
+				cfg.Progress(i+1, n)
+			}
+		}
+		return out, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards done / Progress
+		done int
+		next atomic.Int64
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				out[i] = v
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					cfg.Progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: the lowest-indexed genuine failure
+	// wins; cancellation errors from jobs aborted by that failure only
+	// surface when nothing better exists.
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if firstCancel != nil {
+		return nil, firstCancel
+	}
+	if err := parent.Err(); err != nil {
+		// The caller's context died mid-batch: results are incomplete.
+		return nil, err
+	}
+	return out, nil
+}
+
+// Seed derives a deterministic per-job RNG seed from a batch base seed and
+// a job index using the SplitMix64 mixing function. Jobs seeded this way
+// draw independent streams whatever the worker count or completion order —
+// the per-job replacement for sharing one RNG across a sweep.
+func Seed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

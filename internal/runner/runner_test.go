@@ -1,0 +1,225 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderedResults: out[i] holds job i's value for every worker count.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{0, 1, 2, 4, 16, 200} {
+		got, err := Map(context.Background(), n, Config{Workers: workers},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts: jobs drawing randomness from
+// Seed(base, i) produce bit-identical batches under any pool size.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n, base = 64, 12345
+	job := func(_ context.Context, i int) (float64, error) {
+		rng := rand.New(rand.NewSource(Seed(base, i)))
+		sum := 0.0
+		for k := 0; k < 1000; k++ {
+			sum += rng.Float64()
+		}
+		return sum, nil
+	}
+	want, err := Map(context.Background(), n, Config{Workers: 1}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		got, err := Map(context.Background(), n, Config{Workers: workers}, job)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v (serial)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapFirstErrorCancels: a failing job cancels the context seen by the
+// rest of the batch, and its error is the one returned.
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var canceled atomic.Int64
+	_, err := Map(context.Background(), 50, Config{Workers: 4},
+		func(ctx context.Context, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			// Later jobs observe the cancellation and abort.
+			select {
+			case <-ctx.Done():
+				canceled.Add(1)
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+				return i, nil
+			}
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if canceled.Load() == 0 {
+		t.Error("no job observed the cancellation")
+	}
+}
+
+// TestMapLowestIndexErrorWins: with several genuine failures the reported
+// error is the lowest-indexed one, independent of completion order.
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	failAt := map[int]bool{7: true, 2: true, 9: true}
+	_, err := Map(context.Background(), 10, Config{Workers: 10},
+		func(_ context.Context, i int) (int, error) {
+			if failAt[i] {
+				// Stagger so higher indices fail first.
+				time.Sleep(time.Duration(10-i) * time.Millisecond)
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := err.Error(); got != "job 2 failed" {
+		t.Errorf("error = %q, want lowest-indexed failure %q", got, "job 2 failed")
+	}
+}
+
+// TestMapParentCancellation: cancelling the caller's context aborts the
+// batch and surfaces context.Canceled.
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Map(ctx, 1000, Config{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+				return i, nil
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestMapPreCancelledContext: a dead context fails fast without running jobs.
+func TestMapPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := Map(ctx, 5, Config{},
+		func(_ context.Context, i int) (int, error) { ran = true; return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("job ran under a pre-cancelled context")
+	}
+}
+
+// TestMapProgress: the callback sees every completion exactly once with a
+// monotonically increasing done count.
+func TestMapProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls int
+		last := 0
+		_, err := Map(context.Background(), 25, Config{
+			Workers: workers,
+			Progress: func(done, total int) {
+				calls++
+				if total != 25 {
+					t.Errorf("total = %d, want 25", total)
+				}
+				if done != last+1 {
+					t.Errorf("done jumped %d -> %d", last, done)
+				}
+				last = done
+			},
+		}, func(_ context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != 25 {
+			t.Errorf("workers=%d: %d progress calls, want 25", workers, calls)
+		}
+	}
+}
+
+// TestMapEmptyAndInvalid: zero jobs succeed with an empty slice; a negative
+// count is rejected.
+func TestMapEmptyAndInvalid(t *testing.T) {
+	out, err := Map(context.Background(), 0, Config{},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || out == nil || len(out) != 0 {
+		t.Errorf("empty batch: out=%v err=%v, want non-nil empty slice", out, err)
+	}
+	if _, err := Map(context.Background(), -1, Config{},
+		func(_ context.Context, i int) (int, error) { return i, nil }); err == nil {
+		t.Error("negative job count must fail")
+	}
+}
+
+// TestSeedDistinct: per-job seeds are distinct across a large batch and
+// stable for a given (base, index) pair.
+func TestSeedDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	const base = 42
+	for i := 0; i < 10000; i++ {
+		s := Seed(base, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed(%d, %d) == Seed(%d, %d) == %d", base, i, base, prev, s)
+		}
+		seen[s] = i
+	}
+	if Seed(base, 17) != Seed(base, 17) {
+		t.Error("Seed is not stable")
+	}
+	if Seed(base, 0) == Seed(base+1, 0) {
+		t.Error("different bases should give different seeds")
+	}
+}
+
+// TestWorkerCountResolution covers the Workers defaulting rules.
+func TestWorkerCountResolution(t *testing.T) {
+	if got := (Config{Workers: 8}).workerCount(3); got != 3 {
+		t.Errorf("capped at job count: got %d, want 3", got)
+	}
+	if got := (Config{Workers: -1}).workerCount(1000); got < 1 {
+		t.Errorf("defaulted workers %d, want >= 1", got)
+	}
+	if got := (Config{Workers: 2}).workerCount(1000); got != 2 {
+		t.Errorf("explicit workers: got %d, want 2", got)
+	}
+}

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -74,6 +75,14 @@ type Sample struct {
 func (s *Sample) Add(v float64) {
 	s.vals = append(s.vals, v)
 	s.sorted = false
+}
+
+// Grow preallocates capacity for n further values, so a caller that knows
+// its sample count up front avoids repeated append growth.
+func (s *Sample) Grow(n int) {
+	if n > 0 {
+		s.vals = slices.Grow(s.vals, n)
+	}
 }
 
 // N returns the number of recorded values.
