@@ -1,17 +1,20 @@
 # Development targets for the HyPPI NoC reproduction.
 #
-#   make ci      — the full gate: vet, race-enabled short tests, full tests
-#   make test    — full (non-short) test suite
-#   make short   — fast feedback loop (seconds, scaled-down workloads)
-#   make race    — race-enabled short suite (the concurrency gate)
-#   make bench   — regenerate every paper table/figure as benchmarks
-#   make golden  — rewrite internal/core/testdata/golden.json from HEAD
+#   make ci        — the full gate, fast checks first: vet, short, race-short, full tests
+#   make test      — full (non-short) test suite
+#   make short     — fast feedback loop (seconds, scaled-down workloads)
+#   make race      — race-enabled short suite (the concurrency gate)
+#   make fmt-check — fail if any file is not gofmt-clean (CI's formatting gate)
+#   make bench     — regenerate every paper table/figure as benchmarks
+#   make golden    — rewrite internal/core/testdata/golden.json from HEAD
 
 GO ?= go
 
-.PHONY: ci vet test short race bench golden
+.PHONY: ci vet test short race fmt-check bench golden
 
-ci: vet race test
+# Ordered so the cheapest gates fail first: vet (seconds), short
+# (seconds), race-short (tens of seconds), then the full suite.
+ci: vet short race test
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +27,12 @@ short:
 
 race:
 	$(GO) test -race -short ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	hyppi-explore [-rate 0.1] [-seed 1] [-policy monotone|shortest] [-workers 0]
+//	hyppi-explore -patterns tornado,transpose
+//	hyppi-explore -patterns all
+//
+// With -patterns, the analytic exploration is followed by a
+// cycle-accurate synthetic-pattern saturation sweep (8×8 grid, plain
+// electronic mesh versus the headline E + HyPPI express@3 hybrid) for
+// the named registry patterns, reporting each pattern's latency-knee
+// saturation throughput.
 //
 // Design points are evaluated concurrently on a bounded worker pool
 // (-workers 0 sizes it to GOMAXPROCS); results are identical to a serial
@@ -18,17 +26,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/tech"
+	"repro/internal/traffic"
 )
 
 func main() {
 	rate := flag.Float64("rate", 0.1, "maximum per-node injection rate (flits/cycle)")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	policy := flag.String("policy", "monotone", "routing policy: monotone or shortest")
+	patterns := flag.String("patterns", "",
+		"comma-separated synthetic patterns to saturation-sweep ("+
+			strings.Join(traffic.Names(), ", ")+"), or \"all\"")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -117,4 +131,37 @@ func main() {
 		fmt.Printf("\nHeadline: E-mesh + HyPPI express @3 hops improves CLEAR by %.2fx (paper: up to 1.8x)\n",
 			headline/plain)
 	}
+
+	if *patterns != "" {
+		if err := runPatternSweep(*patterns, o, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runPatternSweep follows the analytic exploration with a cycle-accurate
+// saturation sweep of the named registry patterns on an 8×8 grid,
+// comparing the plain electronic mesh against the paper's headline
+// E + HyPPI express@3 hybrid.
+func runPatternSweep(spec string, o core.Options, workers int) error {
+	pats, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	o.Topology.Width, o.Topology.Height = 8, 8
+	points := []core.DesignPoint{
+		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
+	}
+	sc := core.DefaultPatternSweep()
+	results, err := core.PatternSweep(context.Background(), points, pats, sc, o,
+		runner.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSynthetic-pattern saturation sweep (8×8, cycle-accurate, rates %v)\n", sc.Rates)
+	fmt.Println("latency-knee rule: saturation = lowest rate with avg > 3x zero-load, or no drain")
+	fmt.Print(report.SaturationTable(results))
+	return nil
 }

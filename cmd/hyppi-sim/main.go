@@ -8,6 +8,12 @@
 //
 //	hyppi-sim [-kernel FT|CG|MG|LU|all] [-express HyPPI] [-scale 0.0625] [-workers 0]
 //	hyppi-sim -trace file.txt [-express Photonic]
+//	hyppi-sim -pattern tornado [-express HyPPI]
+//
+// With -pattern, hyppi-sim runs a synthetic traffic saturation sweep
+// instead of traces: the named registry pattern (or "all") is swept over
+// offered load on an 8×8 grid, mesh versus express hybrids, and the
+// latency-knee saturation throughput is reported per configuration.
 //
 // The kernel × hop-length sweep runs as one batch of independent
 // simulations on a bounded worker pool (-workers 0 sizes it to GOMAXPROCS);
@@ -19,15 +25,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/noc"
 	"repro/internal/npb"
+	"repro/internal/report"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // sweepHops are the express hop lengths of the Fig. 6 comparison.
@@ -36,6 +45,9 @@ var sweepHops = []int{0, 3, 5, 15}
 func main() {
 	kernel := flag.String("kernel", "all", "kernel: FT, CG, MG, LU or all")
 	traceFile := flag.String("trace", "", "external trace file (overrides -kernel)")
+	pattern := flag.String("pattern", "",
+		"synthetic pattern saturation sweep instead of traces: a registry name ("+
+			strings.Join(traffic.Names(), ", ")+") or \"all\"")
 	express := flag.String("express", "HyPPI", "express link technology: Electronic, Photonic or HyPPI")
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
 	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
@@ -49,6 +61,14 @@ func main() {
 	}
 	o := core.DefaultOptions()
 	pool := runner.Config{Workers: *workers}
+
+	if *pattern != "" {
+		if err := runPatternSweep(*pattern, exTech, o, pool); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceFile != "" {
 		if err := runExternal(*traceFile, exTech, o, pool); err != nil {
@@ -103,6 +123,50 @@ func main() {
 			"", core.FormatEnergy(energy[0]), core.FormatEnergy(energy[1]),
 			core.FormatEnergy(energy[2]), core.FormatEnergy(energy[3]))
 	}
+}
+
+// runPatternSweep sweeps one registry pattern (or all of them) over
+// offered load on an 8×8 grid — the cycle-accurate scale the examples
+// use — for the plain electronic mesh and the express hybrids, printing
+// each configuration's load-latency curve and its latency-knee
+// saturation throughput (see noc.DetectSaturation).
+func runPatternSweep(spec string, exTech tech.Technology, o core.Options, pool runner.Config) error {
+	patterns, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	o.Topology.Width, o.Topology.Height = 8, 8
+	// The 8×8 analog of the paper's hop ladder: 7 = W−1 closes each row
+	// into a ring, the counterpart of hops=15 on the 16-wide mesh.
+	patternHops := []int{0, 3, 5, 7}
+	points := make([]core.DesignPoint, 0, len(patternHops))
+	for _, hops := range patternHops {
+		ex := exTech
+		if hops == 0 {
+			ex = tech.Electronic // plain mesh: express tech is unused
+		}
+		points = append(points, core.DesignPoint{Base: tech.Electronic, Express: ex, Hops: hops})
+	}
+	sc := core.DefaultPatternSweep()
+	results, err := core.PatternSweep(context.Background(), points, patterns, sc, o, pool)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("8×8 pattern saturation sweep, express = %v, rates = %v\n", exTech, sc.Rates)
+	for _, r := range results {
+		fmt.Printf("\n%v / %s\n", r.Point, r.Pattern)
+		for _, p := range r.Curve {
+			if p.Saturated {
+				fmt.Printf("  rate %-6.3g saturated (failed to drain)\n", p.InjectionRate)
+				continue
+			}
+			fmt.Printf("  rate %-6.3g avg %-8.1f p99 %.1f\n",
+				p.InjectionRate, p.AvgLatencyClks, p.P99LatencyClks)
+		}
+	}
+	fmt.Println("\nSaturation summary (latency-knee rule: avg > 3x zero-load, or no drain)")
+	fmt.Print(report.SaturationTable(results))
+	return nil
 }
 
 func min3(a, b, c float64) float64 {

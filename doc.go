@@ -11,7 +11,7 @@
 //	internal/dsent     modified-DSENT component cost models (11 nm)
 //	internal/topology  16×16 mesh and express-link topologies (Fig. 2)
 //	internal/routing   dimension-ordered express routing + BFS tables
-//	internal/traffic   Soteriou synthetic statistical traffic
+//	internal/traffic   Soteriou statistical traffic + synthetic pattern registry
 //	internal/analytic  Section III-B system CLEAR evaluation (Fig. 5)
 //	internal/noc       cycle-accurate VC-router simulator (BookSim role)
 //	internal/trace     trace format + paper-style packetization
@@ -20,12 +20,17 @@
 //	internal/runner    bounded worker pool for parallel experiment batches
 //	internal/core      experiment façade tying it all together
 //
-// Experiment batches (the Fig. 5 design space, load-latency sweeps, NPB
-// trace runs) execute on internal/runner's worker pool: results are
-// collected in job order and every job is a pure function of its index, so
-// sweeps are bit-identical to a serial run at any pool size. See the
-// runner package documentation for the determinism contract.
+// Experiment batches (the Fig. 5 design space, load-latency sweeps,
+// pattern saturation sweeps, NPB trace runs) execute on internal/runner's
+// worker pool: results are collected in job order and every job is a pure
+// function of its index, so sweeps are bit-identical to a serial run at
+// any pool size. See the runner package documentation for the determinism
+// contract.
 //
-// See DESIGN.md for the system inventory and per-experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// Beyond the paper's workloads, internal/traffic carries a registry of
+// named synthetic patterns (uniform, transpose, bitcomp, bitrev, shuffle,
+// tornado, neighbor, hotspot); noc.PatternLoadLatencyCurves and
+// core.PatternSweep measure each pattern's saturation throughput with the
+// latency-knee rule documented at noc.DetectSaturation. See README.md for
+// the registry's formulas and CLI usage.
 package repro

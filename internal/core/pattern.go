@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// PatternSweepConfig parameterizes a pattern saturation sweep.
+type PatternSweepConfig struct {
+	// Rates is the ascending offered-load grid in flits/cycle; the
+	// latency-knee detector (noc.DetectSaturation) reads the first rate
+	// as the zero-load baseline.
+	Rates []float64
+	// Workload shapes the open-loop arrivals at each point.
+	Workload noc.BernoulliWorkload
+	// NoC configures the cycle-accurate simulator.
+	NoC noc.Config
+}
+
+// DefaultPatternSweep returns a sweep that resolves each pattern's knee
+// in seconds on an 8×8 grid (the CLIs scale Options.Topology down to
+// 8×8 for cycle-accurate sweeps): a rate ladder from well below to well
+// beyond mesh saturation, 1-flit packets over a 5000-cycle horizon.
+func DefaultPatternSweep() PatternSweepConfig {
+	cfg := noc.DefaultConfig()
+	cfg.MaxCycles = 200000
+	return PatternSweepConfig{
+		Rates:    []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5},
+		Workload: noc.BernoulliWorkload{SizeFlits: 1, Cycles: 5000, Seed: 13},
+		NoC:      cfg,
+	}
+}
+
+// Validate checks the sweep parameters.
+func (c PatternSweepConfig) Validate() error {
+	if len(c.Rates) == 0 {
+		return fmt.Errorf("core: pattern sweep with no rates")
+	}
+	prev := 0.0
+	for _, r := range c.Rates {
+		if r <= prev {
+			return fmt.Errorf("core: sweep rates must ascend from above zero, got %v", c.Rates)
+		}
+		prev = r
+	}
+	return nil
+}
+
+// PatternSweepResult is one (design point, pattern) cell of a sweep:
+// the full load-latency curve plus the detected saturation throughput,
+// the ExplorationResult-style row of the saturation dataset.
+type PatternSweepResult struct {
+	Point   DesignPoint
+	Pattern string
+	// Curve holds one point per swept rate, in rate order.
+	Curve []noc.LoadPoint
+	// SaturationRate is the latency-knee offered load (see
+	// noc.DetectSaturation); zero when the design never saturates within
+	// the swept range.
+	SaturationRate float64
+	// Saturates reports whether the knee lies inside the swept range.
+	Saturates bool
+}
+
+// ZeroLoadLatencyClks returns the curve's first (lowest-rate) average
+// latency — the knee detector's baseline.
+func (r PatternSweepResult) ZeroLoadLatencyClks() float64 {
+	if len(r.Curve) == 0 {
+		return 0
+	}
+	return r.Curve[0].AvgLatencyClks
+}
+
+// PatternSweep runs the design-point × pattern saturation matrix on the
+// worker pool: each (point, pattern) job builds its own network and
+// routing table, generates the pattern matrix, and walks the rate ladder
+// serially with the cycle-accurate simulator. Jobs share only read-only
+// inputs and results are collected in (point-major, pattern-minor) order,
+// so the output is bit-identical for any worker count — the same
+// determinism contract as Explore. The first failure cancels the batch.
+func PatternSweep(ctx context.Context, points []DesignPoint, patterns []traffic.Pattern,
+	sc PatternSweepConfig, o Options, pool runner.Config) ([]PatternSweepResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: pattern sweep with no patterns")
+	}
+	// Networks and routing tables depend only on the design point: build
+	// them once up front and share them read-only across the pool.
+	nets := make([]*topology.Network, len(points))
+	tabs := make([]*routing.Table, len(points))
+	for i, point := range points {
+		net, err := o.BuildNetwork(point)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", point, err)
+		}
+		tab, err := routing.Build(net, o.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", point, err)
+		}
+		nets[i], tabs[i] = net, tab
+	}
+	n := len(points) * len(patterns)
+	return runner.Map(ctx, n, pool, func(ctx context.Context, i int) (PatternSweepResult, error) {
+		pi, pat := i/len(patterns), patterns[i%len(patterns)]
+		point, net, tab := points[pi], nets[pi], tabs[pi]
+		// The rate ladder runs serially inside the job (Workers: 1): the
+		// pool already fans out across (point, pattern) cells, and nested
+		// pools would oversubscribe without improving determinism.
+		curves, err := noc.PatternLoadLatencyCurves(ctx, net, tab,
+			[]traffic.Pattern{pat}, sc.Rates, sc.Workload, sc.NoC, runner.Config{Workers: 1})
+		if err != nil {
+			return PatternSweepResult{}, fmt.Errorf("core: %v / %s: %w", point, pat.Name(), err)
+		}
+		c := curves[0]
+		return PatternSweepResult{
+			Point:          point,
+			Pattern:        c.Pattern,
+			Curve:          c.Points,
+			SaturationRate: c.SaturationRate,
+			Saturates:      c.Saturates,
+		}, nil
+	})
+}

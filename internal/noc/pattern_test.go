@@ -1,0 +1,143 @@
+package noc
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestDetectSaturation(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []LoadPoint
+		rate   float64
+		ok     bool
+	}{
+		{"empty", nil, 0, false},
+		// A curve saturated from its lowest rate reports that rate: the
+		// knee lies at or below the sweep floor, not "never".
+		{"baseline saturated",
+			[]LoadPoint{{InjectionRate: 0.1, Saturated: true}}, 0.1, true},
+		{"flat curve never saturates", []LoadPoint{
+			{InjectionRate: 0.1, AvgLatencyClks: 20},
+			{InjectionRate: 0.2, AvgLatencyClks: 22},
+			{InjectionRate: 0.3, AvgLatencyClks: 25},
+		}, 0, false},
+		{"latency knee at 3x zero-load", []LoadPoint{
+			{InjectionRate: 0.1, AvgLatencyClks: 20},
+			{InjectionRate: 0.2, AvgLatencyClks: 45},
+			{InjectionRate: 0.3, AvgLatencyClks: 61}, // > 3×20
+			{InjectionRate: 0.4, AvgLatencyClks: 300},
+		}, 0.3, true},
+		{"no-drain point saturates", []LoadPoint{
+			{InjectionRate: 0.1, AvgLatencyClks: 20},
+			{InjectionRate: 0.2, Saturated: true},
+		}, 0.2, true},
+		{"exactly 3x is not past the knee", []LoadPoint{
+			{InjectionRate: 0.1, AvgLatencyClks: 20},
+			{InjectionRate: 0.2, AvgLatencyClks: 60},
+		}, 0, false},
+	}
+	for _, c := range cases {
+		rate, ok := DetectSaturation(c.points)
+		if rate != c.rate || ok != c.ok {
+			t.Errorf("%s: DetectSaturation = (%v, %v), want (%v, %v)",
+				c.name, rate, ok, c.rate, c.ok)
+		}
+	}
+}
+
+// patternSweepInputs builds a small sweep that exercises real saturation
+// behaviour in well under a second.
+func patternSweepInputs(t *testing.T) ([]traffic.Pattern, []float64, BernoulliWorkload, Config) {
+	t.Helper()
+	pats, err := traffic.ParsePatterns("uniform,tornado,hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := BernoulliWorkload{SizeFlits: 1, Cycles: 600, Seed: 11}
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 20000
+	return pats, []float64{0.05, 0.2, 0.5}, w, cfg
+}
+
+func TestPatternLoadLatencyCurves(t *testing.T) {
+	net, tab, _ := workloadNet(t)
+	pats, rates, w, cfg := patternSweepInputs(t)
+	curves, err := PatternLoadLatencyCurves(context.Background(), net, tab,
+		pats, rates, w, cfg, runner.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != len(pats) {
+		t.Fatalf("%d curves for %d patterns", len(curves), len(pats))
+	}
+	for i, c := range curves {
+		if c.Pattern != pats[i].Name() {
+			t.Errorf("curve %d named %q, want %q", i, c.Pattern, pats[i].Name())
+		}
+		if len(c.Points) != len(rates) {
+			t.Fatalf("curve %s has %d points, want %d", c.Pattern, len(c.Points), len(rates))
+		}
+		for j, p := range c.Points {
+			if p.InjectionRate != rates[j] {
+				t.Errorf("curve %s point %d at rate %v, want %v", c.Pattern, j, p.InjectionRate, rates[j])
+			}
+		}
+		// The detected knee must agree with a direct application of the
+		// rule to the returned points.
+		rate, ok := DetectSaturation(c.Points)
+		if rate != c.SaturationRate || ok != c.Saturates {
+			t.Errorf("curve %s knee (%v,%v) disagrees with DetectSaturation (%v,%v)",
+				c.Pattern, c.SaturationRate, c.Saturates, rate, ok)
+		}
+	}
+}
+
+// TestPatternCurvesSerialParallelIdentical: the pattern×load sweep is
+// bit-identical whatever the worker count — the repository determinism
+// contract, enforced under -race by make race.
+func TestPatternCurvesSerialParallelIdentical(t *testing.T) {
+	net, tab, _ := workloadNet(t)
+	pats, rates, w, cfg := patternSweepInputs(t)
+	serial, err := PatternLoadLatencyCurves(context.Background(), net, tab,
+		pats, rates, w, cfg, runner.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := PatternLoadLatencyCurves(context.Background(), net, tab,
+		pats, rates, w, cfg, runner.Config{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel sweeps diverge:\n%+v\nvs\n%+v", serial, parallel)
+	}
+}
+
+func TestPatternCurvesRejectBadInput(t *testing.T) {
+	net, tab, _ := workloadNet(t)
+	pats, _, w, cfg := patternSweepInputs(t)
+	if _, err := PatternLoadLatencyCurves(context.Background(), net, tab,
+		pats, nil, w, cfg, runner.Config{}); err == nil {
+		t.Error("empty rate grid must fail")
+	}
+	// A pattern whose precondition fails surfaces as a named error.
+	tr, err := traffic.Lookup("bitrev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.DefaultConfig()
+	c.Width, c.Height = 3, 3
+	odd := topology.MustBuild(c)
+	tab3 := routing.MustBuild(odd, routing.MonotoneExpress)
+	if _, err := PatternLoadLatencyCurves(context.Background(), odd, tab3,
+		[]traffic.Pattern{tr}, []float64{0.1}, w, cfg, runner.Config{}); err == nil {
+		t.Error("bit-reversal on 9 nodes must fail")
+	}
+}

@@ -128,27 +128,120 @@ func LoadLatencyCurveContext(ctx context.Context, net *topology.Network, tab *ro
 	base *traffic.Matrix, rates []float64, w BernoulliWorkload, cfg Config,
 	pool runner.Config) ([]LoadPoint, error) {
 	return runner.Map(ctx, len(rates), pool, func(_ context.Context, i int) (LoadPoint, error) {
-		r := rates[i]
-		tm := base.ScaledToMaxRate(r)
-		pkts, err := w.Generate(net, tm)
-		if err != nil {
-			return LoadPoint{}, err
-		}
-		sim, err := New(net, tab, cfg)
-		if err != nil {
-			return LoadPoint{}, err
-		}
-		if err := sim.InjectAll(pkts); err != nil {
-			return LoadPoint{}, err
-		}
-		st, err := sim.Run()
-		pt := LoadPoint{InjectionRate: r}
-		if err != nil {
-			pt.Saturated = true
-		} else {
-			pt.AvgLatencyClks = st.AvgPacketLatencyClks
-			pt.P99LatencyClks = st.P99PacketLatencyClks
-		}
-		return pt, nil
+		return loadPoint(net, tab, base, rates[i], w, cfg)
 	})
+}
+
+// loadPoint runs one offered-load sample: scale the base matrix to the
+// rate, draw the Bernoulli arrivals, simulate, summarize.
+func loadPoint(net *topology.Network, tab *routing.Table, base *traffic.Matrix,
+	rate float64, w BernoulliWorkload, cfg Config) (LoadPoint, error) {
+	tm := base.ScaledToMaxRate(rate)
+	pkts, err := w.Generate(net, tm)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	sim, err := New(net, tab, cfg)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	if err := sim.InjectAll(pkts); err != nil {
+		return LoadPoint{}, err
+	}
+	st, err := sim.Run()
+	pt := LoadPoint{InjectionRate: rate}
+	if err != nil {
+		pt.Saturated = true
+	} else {
+		pt.AvgLatencyClks = st.AvgPacketLatencyClks
+		pt.P99LatencyClks = st.P99PacketLatencyClks
+	}
+	return pt, nil
+}
+
+// SaturationLatencyFactor defines the latency-knee rule used by
+// DetectSaturation: a pattern's saturation throughput is the lowest
+// offered load whose average packet latency exceeds this multiple of the
+// curve's zero-load latency (the first swept point), or that fails to
+// drain within the cycle cap. 3× is the conventional knee threshold in
+// NoC load-latency methodology — past it, queueing delay dominates and
+// latency grows without bound.
+const SaturationLatencyFactor = 3.0
+
+// DetectSaturation applies the latency-knee rule to a load-latency curve
+// sampled at ascending rates. It returns the offered injection rate of
+// the first saturated point; a curve whose lowest rate already fails to
+// drain reports that rate (the true knee lies at or below the sweep
+// floor). ok is false only when the curve is empty or never saturates
+// within the swept range (the returned rate is then zero).
+func DetectSaturation(points []LoadPoint) (rate float64, ok bool) {
+	if len(points) == 0 {
+		return 0, false
+	}
+	if points[0].Saturated {
+		return points[0].InjectionRate, true
+	}
+	base := points[0].AvgLatencyClks
+	for _, p := range points[1:] {
+		if p.Saturated || p.AvgLatencyClks > SaturationLatencyFactor*base {
+			return p.InjectionRate, true
+		}
+	}
+	return 0, false
+}
+
+// PatternCurve is the load-latency curve of one named traffic pattern,
+// with its latency-knee saturation point (see DetectSaturation).
+type PatternCurve struct {
+	// Pattern is the registry name of the swept pattern.
+	Pattern string
+	// Points holds one LoadPoint per swept rate, in rate order.
+	Points []LoadPoint
+	// SaturationRate is the offered rate at the latency knee; zero when
+	// the pattern never saturates within the swept range.
+	SaturationRate float64
+	// Saturates reports whether the knee lies inside the swept range.
+	Saturates bool
+}
+
+// PatternLoadLatencyCurves sweeps the full pattern×load matrix on one
+// worker pool: every (pattern, rate) pair is an independent simulation
+// job, so the flattened batch keeps the pool busy even when patterns have
+// uneven curves. Base matrices are generated once per pattern up front
+// and only read afterwards; each job is a pure function of its index, so
+// the result is bit-identical for any worker count. Each curve's
+// saturation point is detected with the latency-knee rule documented at
+// SaturationLatencyFactor.
+func PatternLoadLatencyCurves(ctx context.Context, net *topology.Network, tab *routing.Table,
+	patterns []traffic.Pattern, rates []float64, w BernoulliWorkload, cfg Config,
+	pool runner.Config) ([]PatternCurve, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("noc: pattern sweep with no rates")
+	}
+	bases := make([]*traffic.Matrix, len(patterns))
+	for i, p := range patterns {
+		m, err := p.Generate(net, 1)
+		if err != nil {
+			return nil, fmt.Errorf("noc: pattern %s: %w", p.Name(), err)
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("noc: pattern %s: %w", p.Name(), err)
+		}
+		bases[i] = m
+	}
+	flat, err := runner.Map(ctx, len(patterns)*len(rates), pool,
+		func(_ context.Context, i int) (LoadPoint, error) {
+			pi, ri := i/len(rates), i%len(rates)
+			return loadPoint(net, tab, bases[pi], rates[ri], w, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PatternCurve, len(patterns))
+	for pi, p := range patterns {
+		c := PatternCurve{Pattern: p.Name(), Points: flat[pi*len(rates) : (pi+1)*len(rates)]}
+		c.SaturationRate, c.Saturates = DetectSaturation(c.Points)
+		out[pi] = c
+	}
+	return out, nil
 }

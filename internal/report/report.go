@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/optical"
+	"repro/internal/stats"
 	"repro/internal/tech"
 	"repro/internal/units"
 )
@@ -99,6 +100,53 @@ func WriteTraceResults(w io.Writer, results []core.TraceResult) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WritePatternSweep emits the synthetic-pattern saturation dataset: one
+// row per (design point, pattern, offered rate), plus the per-curve
+// latency-knee saturation throughput so downstream plots can draw both
+// the curves and the knee markers.
+func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"base", "express", "hops", "pattern",
+		"injection_rate", "avg_latency_clks", "p99_latency_clks", "point_saturated",
+		"saturation_rate", "saturates",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.Curve {
+			if err := cw.Write([]string{
+				r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
+				r.Pattern,
+				f(p.InjectionRate), f(p.AvgLatencyClks), f(p.P99LatencyClks),
+				strconv.FormatBool(p.Saturated),
+				f(r.SaturationRate), strconv.FormatBool(r.Saturates),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaturationTable renders the per-pattern saturation summary as an
+// aligned text table: one row per (design point, pattern) with the
+// zero-load latency and the latency-knee saturation throughput ("-" when
+// the design never saturates within the swept range).
+func SaturationTable(results []core.PatternSweepResult) string {
+	tbl := stats.NewTable("design point", "pattern", "zero-load (clk)", "saturation (flits/clk)")
+	for _, r := range results {
+		sat := "-"
+		if r.Saturates {
+			sat = strconv.FormatFloat(r.SaturationRate, 'g', 4, 64)
+		}
+		tbl.AddRow(r.Point.String(), r.Pattern,
+			strconv.FormatFloat(r.ZeroLoadLatencyClks(), 'f', 1, 64), sat)
+	}
+	return tbl.String()
 }
 
 // WriteRadar emits the Fig. 8 dataset: one row per corner.

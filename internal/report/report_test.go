@@ -111,3 +111,52 @@ func TestCheckCatchesCorruption(t *testing.T) {
 		t.Error("ragged CSV must fail")
 	}
 }
+
+// patternSweepResults fabricates a two-cell sweep without running the
+// simulator: the writers only format.
+func patternSweepResults() []core.PatternSweepResult {
+	mesh := core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}
+	hybrid := core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}
+	curve := []noc.LoadPoint{
+		{InjectionRate: 0.05, AvgLatencyClks: 20, P99LatencyClks: 30},
+		{InjectionRate: 0.2, AvgLatencyClks: 90, P99LatencyClks: 200},
+	}
+	return []core.PatternSweepResult{
+		{Point: mesh, Pattern: "tornado", Curve: curve, SaturationRate: 0.2, Saturates: true},
+		{Point: hybrid, Pattern: "tornado", Curve: curve[:1]},
+	}
+}
+
+func TestWritePatternSweep(t *testing.T) {
+	results := patternSweepResults()
+	var buf bytes.Buffer
+	if err := WritePatternSweep(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Check(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 { // 2 curve points + 1
+		t.Errorf("CSV rows %d, want 3", rows)
+	}
+	if !strings.HasPrefix(buf.String(), "base,express,hops,pattern,injection_rate,") {
+		t.Errorf("header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if !strings.Contains(buf.String(), "tornado") {
+		t.Error("pattern name missing from rows")
+	}
+}
+
+func TestSaturationTable(t *testing.T) {
+	out := SaturationTable(patternSweepResults())
+	if !strings.Contains(out, "tornado") || !strings.Contains(out, "0.2") {
+		t.Errorf("table missing sweep data:\n%s", out)
+	}
+	// The never-saturating row renders a dash, not a zero.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "-") {
+		t.Errorf("unsaturated row should show '-': %q", last)
+	}
+}

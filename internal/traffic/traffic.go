@@ -233,48 +233,29 @@ func MustSoteriou(net *topology.Network, cfg SoteriouConfig) *Matrix {
 }
 
 // Uniform builds uniform-random traffic: every node injects `rate`
-// flits/cycle spread evenly over all other nodes. A standard reference
-// pattern for ablations.
+// flits/cycle spread evenly over all other nodes. It is the registry's
+// "uniform" pattern (see Pattern) kept as a convenience constructor.
 func Uniform(net *topology.Network, rate float64) *Matrix {
-	n := net.NumNodes()
-	m := NewMatrix(n)
-	per := rate / float64(n-1)
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s != d {
-				m.Rates[s][d] = per
-			}
-		}
-	}
+	m, _ := genUniform(net, rate) // cannot fail
 	return m
 }
 
 // Transpose builds the matrix-transpose permutation: node (x,y) sends all
-// its traffic to (y,x). Nodes on the diagonal stay silent.
+// its traffic to (y,x). Nodes on the diagonal stay silent. It is the
+// registry's "transpose" pattern and panics on a non-square grid; use
+// Lookup("transpose") for error handling.
 func Transpose(net *topology.Network, rate float64) *Matrix {
-	n := net.NumNodes()
-	m := NewMatrix(n)
-	for s := 0; s < n; s++ {
-		src := topology.NodeID(s)
-		d := int(net.Node(net.Y(src), net.X(src)))
-		if d != s {
-			m.Rates[s][d] = rate
-		}
+	m, err := genTranspose(net, rate)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
 
 // BitComplement builds the bit-complement permutation: node i sends to
-// node (N-1-i).
+// node (N-1-i). It is the registry's "bitcomp" pattern.
 func BitComplement(net *topology.Network, rate float64) *Matrix {
-	n := net.NumNodes()
-	m := NewMatrix(n)
-	for s := 0; s < n; s++ {
-		d := n - 1 - s
-		if d != s {
-			m.Rates[s][d] = rate
-		}
-	}
+	m, _ := genBitComplement(net, rate) // cannot fail
 	return m
 }
 
