@@ -1,16 +1,21 @@
 # Development targets for the HyPPI NoC reproduction.
 #
-#   make ci        — the full gate, fast checks first: vet, short, race-short, full tests
-#   make test      — full (non-short) test suite
-#   make short     — fast feedback loop (seconds, scaled-down workloads)
-#   make race      — race-enabled short suite (the concurrency gate)
-#   make fmt-check — fail if any file is not gofmt-clean (CI's formatting gate)
-#   make bench     — regenerate every paper table/figure as benchmarks
-#   make golden    — rewrite internal/core/testdata/golden.json from HEAD
+#   make ci            — the full gate, fast checks first: vet, short, race-short, full tests
+#   make test          — full (non-short) test suite
+#   make short         — fast feedback loop (seconds, scaled-down workloads)
+#   make race          — race-enabled short suite (the concurrency gate)
+#   make fmt-check     — fail if any file is not gofmt-clean (CI's formatting gate)
+#   make bench         — regenerate every paper table/figure as benchmarks
+#   make bench-compare — run the benchmarks and diff them against BENCH_baseline.txt
+#   make golden        — rewrite internal/core/testdata/golden.json from HEAD
 
 GO ?= go
 
-.PHONY: ci vet test short race fmt-check bench golden
+# Where bench-compare writes the current run before diffing it against the
+# pinned baseline.
+BENCH_OUT ?= /tmp/hyppi-bench-current.txt
+
+.PHONY: ci vet test short race fmt-check bench bench-compare golden
 
 # Ordered so the cheapest gates fail first: vet (seconds), short
 # (seconds), race-short (tens of seconds), then the full suite.
@@ -36,6 +41,14 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Full benchmark run diffed against the pinned baseline (benchstat-style,
+# self-contained — see cmd/hyppi-benchcmp). Refresh the baseline after a
+# deliberate perf change with: make bench > BENCH_baseline.txt
+bench-compare:
+	$(GO) test -bench=. -benchmem . > $(BENCH_OUT) || { cat $(BENCH_OUT); exit 1; }
+	@cat $(BENCH_OUT)
+	$(GO) run ./cmd/hyppi-benchcmp BENCH_baseline.txt $(BENCH_OUT)
 
 golden:
 	$(GO) test ./internal/core -run TestGolden -update

@@ -362,6 +362,46 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(flitHops*float64(b.N)/b.Elapsed().Seconds(), "flit-hops/s")
 }
 
+// BenchmarkSimulatorThroughputReuse is BenchmarkSimulatorThroughput on the
+// Sim.Reset reuse path: one simulator recycled through a SimPool across
+// iterations, isolating the construction cost the pool removes from every
+// sweep point after the first.
+func BenchmarkSimulatorThroughputReuse(b *testing.B) {
+	net := topology.MustBuild(topology.DefaultConfig())
+	tab := routing.MustBuild(net, routing.MonotoneExpress)
+	cfg := npb.DefaultConfig(npb.MG)
+	cfg.Scale = 1.0 / 32
+	events := npb.MustGenerate(cfg)
+	pool := noc.NewSimPool()
+	var flitHops float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := pool.Get(net, tab, noc.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts, err := trace.Packetize(events, net.NumNodes(), trace.DefaultPacketize())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.InjectAll(pkts); err != nil {
+			b.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(sim)
+		var hops int64
+		for _, v := range st.LinkFlits {
+			hops += v
+		}
+		flitHops = float64(hops)
+	}
+	b.ReportMetric(flitHops*float64(b.N)/b.Elapsed().Seconds(), "flit-hops/s")
+}
+
 // BenchmarkExtensionWDMSweep quantifies the paper's wavelength-count
 // argument: photonic link static power as rings are added beyond the
 // 2-λ minimum, with capacity pinned by the SERDES.

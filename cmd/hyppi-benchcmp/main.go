@@ -1,0 +1,206 @@
+// Command hyppi-benchcmp compares two `go test -bench` output files in the
+// style of benchstat, with no external dependency: for every benchmark
+// present in both files it prints old vs new time/op, B/op, allocs/op and
+// the repository's custom metrics (points/s, flit-hops/s, …) with their
+// percentage delta. `make bench-compare` runs it against the pinned
+// BENCH_baseline.txt so a perf regression (or win) is visible in one table.
+//
+// Usage:
+//
+//	hyppi-benchcmp old.txt new.txt
+//	hyppi-benchcmp -threshold 20 old.txt new.txt   # exit 1 on >20% time/op regressions
+//
+// With a single file argument it just pretty-prints that file's metrics.
+// Without -threshold the exit status is always 0 (single-run benchmark
+// numbers are noisy; the CI smoke job runs at -benchtime=1x and only wants
+// the comparison rendered, not enforced).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps unit → value for one benchmark, plus the iteration count.
+type metrics struct {
+	iters  int64
+	values map[string]float64
+	order  []string
+}
+
+// parseFile reads `go test -bench` output: lines of the form
+//
+//	BenchmarkName[-P]  <iters>  <value> <unit>  <value> <unit> ...
+func parseFile(path string) (map[string]*metrics, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*metrics)
+	var names []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so runs from machines with
+		// different core counts line up.
+		if p := guessProcs(name); p > 0 {
+			name = strings.TrimSuffix(name, fmt.Sprintf("-%d", p))
+		}
+		m := &metrics{iters: iters, values: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if _, dup := m.values[unit]; !dup {
+				m.order = append(m.order, unit)
+			}
+			m.values[unit] = v
+		}
+		if _, dup := out[name]; !dup {
+			names = append(names, name)
+		}
+		out[name] = m
+	}
+	return out, names, sc.Err()
+}
+
+// guessProcs extracts the trailing -P GOMAXPROCS suffix, or 0 if absent.
+func guessProcs(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return p
+}
+
+// delta renders the old→new change; lower is better for every standard
+// unit, higher is better for the repository's rate metrics.
+func delta(unit string, old, new float64) string {
+	if old == 0 {
+		return "   n/a"
+	}
+	pct := (new - old) / old * 100
+	arrow := " "
+	betterWhenHigher := strings.Contains(unit, "/s") || strings.Contains(unit, "speedup")
+	switch {
+	case pct < -0.05 && !betterWhenHigher, pct > 0.05 && betterWhenHigher:
+		arrow = "+" // improvement
+	case pct > 0.05 && !betterWhenHigher, pct < -0.05 && betterWhenHigher:
+		arrow = "-" // regression
+	}
+	return fmt.Sprintf("%+7.1f%% %s", pct, arrow)
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0,
+		"exit 1 when any benchmark's ns/op regresses by more than this percentage (0 = never fail)")
+	units := flag.String("units", "",
+		"comma-separated unit filter (default: every unit present in both files)")
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: hyppi-benchcmp [-threshold pct] old.txt [new.txt]")
+		os.Exit(2)
+	}
+
+	oldM, oldNames, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-benchcmp:", err)
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		for _, name := range oldNames {
+			m := oldM[name]
+			fmt.Printf("%s (%d iters)\n", name, m.iters)
+			for _, u := range m.order {
+				fmt.Printf("    %-16s %s\n", u, human(m.values[u]))
+			}
+		}
+		return
+	}
+
+	newM, newNames, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-benchcmp:", err)
+		os.Exit(2)
+	}
+
+	var filter map[string]bool
+	if *units != "" {
+		filter = make(map[string]bool)
+		for _, u := range strings.Split(*units, ",") {
+			filter[strings.TrimSpace(u)] = true
+		}
+	}
+
+	fmt.Printf("%-44s %-14s %14s %14s %10s\n", "benchmark", "metric", "old", "new", "delta")
+	fmt.Println(strings.Repeat("-", 100))
+	regressed := false
+	for _, name := range newNames {
+		om, ok := oldM[name]
+		nm := newM[name]
+		if !ok {
+			fmt.Printf("%-44s %s\n", name, "(new benchmark, no baseline)")
+			continue
+		}
+		for _, u := range nm.order {
+			if filter != nil && !filter[u] {
+				continue
+			}
+			ov, ok := om.values[u]
+			if !ok {
+				continue
+			}
+			nv := nm.values[u]
+			fmt.Printf("%-44s %-14s %14s %14s  %s\n", name, u, human(ov), human(nv), delta(u, ov, nv))
+			if u == "ns/op" && *threshold > 0 && ov > 0 && (nv-ov)/ov*100 > *threshold {
+				regressed = true
+			}
+		}
+	}
+	var dropped []string
+	for _, name := range oldNames {
+		if _, ok := newM[name]; !ok {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Printf("%-44s %s\n", name, "(missing from new run)")
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "hyppi-benchcmp: ns/op regression beyond %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+}

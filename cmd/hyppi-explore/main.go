@@ -9,6 +9,7 @@
 //	hyppi-explore [-rate 0.1] [-seed 1] [-policy monotone|shortest] [-workers 0]
 //	hyppi-explore -patterns tornado,transpose
 //	hyppi-explore -patterns all
+//	hyppi-explore -cpuprofile cpu.out -memprofile mem.out
 //
 // With -patterns, the analytic exploration is followed by a
 // cycle-accurate synthetic-pattern saturation sweep (8×8 grid, plain
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/routing"
 	"repro/internal/runner"
@@ -37,6 +39,11 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so deferred profile flushing survives error exits.
+func run() int {
 	rate := flag.Float64("rate", 0.1, "maximum per-node injection rate (flits/cycle)")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	policy := flag.String("policy", "monotone", "routing policy: monotone or shortest")
@@ -44,7 +51,16 @@ func main() {
 		"comma-separated synthetic patterns to saturation-sweep ("+
 			strings.Join(traffic.Names(), ", ")+"), or \"all\"")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+		return 1
+	}
+	defer stopProf()
 
 	o := core.DefaultOptions()
 	o.Traffic.MaxInjectionRate = *rate
@@ -56,7 +72,7 @@ func main() {
 		o.Policy = routing.ShortestHops
 	default:
 		fmt.Fprintf(os.Stderr, "hyppi-explore: unknown policy %q\n", *policy)
-		os.Exit(1)
+		return 1
 	}
 
 	points := core.DefaultDesignSpace()
@@ -71,7 +87,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Println("Table III — capability C and utilization growth R (fixed per topology)")
@@ -135,9 +151,10 @@ func main() {
 	if *patterns != "" {
 		if err := runPatternSweep(*patterns, o, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // runPatternSweep follows the analytic exploration with a cycle-accurate

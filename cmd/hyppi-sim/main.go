@@ -9,6 +9,7 @@
 //	hyppi-sim [-kernel FT|CG|MG|LU|all] [-express HyPPI] [-scale 0.0625] [-workers 0]
 //	hyppi-sim -trace file.txt [-express Photonic]
 //	hyppi-sim -pattern tornado [-express HyPPI]
+//	hyppi-sim -cpuprofile cpu.out -memprofile mem.out
 //
 // With -pattern, hyppi-sim runs a synthetic traffic saturation sweep
 // instead of traces: the named registry pattern (or "all") is swept over
@@ -30,11 +31,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/noc"
 	"repro/internal/npb"
+	"repro/internal/prof"
 	"repro/internal/report"
-	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/tech"
-	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -43,6 +43,11 @@ import (
 var sweepHops = []int{0, 3, 5, 15}
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so deferred profile flushing survives error exits.
+func run() int {
 	kernel := flag.String("kernel", "all", "kernel: FT, CG, MG, LU or all")
 	traceFile := flag.String("trace", "", "external trace file (overrides -kernel)")
 	pattern := flag.String("pattern", "",
@@ -52,12 +57,21 @@ func main() {
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
 	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+		return 1
+	}
+	defer stopProf()
 
 	exTech, err := tech.ParseTechnology(*express)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
-		os.Exit(1)
+		return 1
 	}
 	o := core.DefaultOptions()
 	pool := runner.Config{Workers: *workers}
@@ -65,17 +79,17 @@ func main() {
 	if *pattern != "" {
 		if err := runPatternSweep(*pattern, exTech, o, pool); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *traceFile != "" {
 		if err := runExternal(*traceFile, exTech, o, pool); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	kernels := npb.Kernels
@@ -83,7 +97,7 @@ func main() {
 		k, err := npb.ParseKernel(*kernel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
-			os.Exit(1)
+			return 1
 		}
 		kernels = []npb.Kernel{k}
 	}
@@ -102,7 +116,7 @@ func main() {
 	results, err := core.RunTraceExperiments(context.Background(), jobs, o, noc.DefaultConfig(), pool)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("Fig. 6 — average packet latency (clks), express = %v\n", exTech)
@@ -123,6 +137,7 @@ func main() {
 			"", core.FormatEnergy(energy[0]), core.FormatEnergy(energy[1]),
 			core.FormatEnergy(energy[2]), core.FormatEnergy(energy[3]))
 	}
+	return 0
 }
 
 // runPatternSweep sweeps one registry pattern (or all of them) over
@@ -181,7 +196,8 @@ func min3(a, b, c float64) float64 {
 }
 
 // runExternal replays a trace file on mesh and hops=3/5/15 hybrids, one
-// concurrent simulation per hop length (the parsed events are only read).
+// concurrent simulation per hop length (the parsed events are only read;
+// networks and tables come from the process-wide cache).
 func runExternal(path string, exTech tech.Technology, o core.Options, pool runner.Config) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -200,15 +216,8 @@ func runExternal(path string, exTech tech.Technology, o core.Options, pool runne
 	}
 	results, err := runner.Map(context.Background(), len(sweepHops), pool,
 		func(_ context.Context, i int) (hopResult, error) {
-			c := o.Topology
-			c.BaseTech = tech.Electronic
-			c.ExpressTech = exTech
-			c.ExpressHops = sweepHops[i]
-			net, err := topology.Build(c)
-			if err != nil {
-				return hopResult{}, err
-			}
-			tab, err := routing.Build(net, o.Policy)
+			point := core.DesignPoint{Base: tech.Electronic, Express: exTech, Hops: sweepHops[i]}
+			net, tab, err := o.NetworkAndTable(point)
 			if err != nil {
 				return hopResult{}, err
 			}

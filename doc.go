@@ -27,6 +27,13 @@
 // any pool size. See the runner package documentation for the determinism
 // contract.
 //
+// The simulator is an event-driven active-set kernel (per-cycle cost
+// scales with live flits, not network size) with reusable state:
+// noc.Sim.Reset and noc.SimPool recycle simulators across sweep points,
+// and internal/core memoizes topologies, routing tables and traffic
+// matrices process-wide. See the noc package documentation and the
+// README's Performance section.
+//
 // Beyond the paper's workloads, internal/traffic carries a registry of
 // named synthetic patterns (uniform, transpose, bitcomp, bitrev, shuffle,
 // tornado, neighbor, hotspot); noc.PatternLoadLatencyCurves and

@@ -42,7 +42,8 @@ func main() {
 			net := topology.MustBuild(c)
 			tab := routing.MustBuild(net, routing.MonotoneExpress)
 			base := traffic.Uniform(net, 0.1)
-			return noc.LoadLatencyCurveContext(ctx, net, tab, base, rates, w, cfg, runner.Config{})
+			return noc.LoadLatencyCurveContext(ctx, net, tab, base, rates, w, cfg,
+				runner.Config{}, noc.NewSimPool())
 		})
 	if err != nil {
 		log.Fatal(err)

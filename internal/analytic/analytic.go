@@ -101,21 +101,30 @@ func Evaluate(net *topology.Network, tab *routing.Table, tm *traffic.Matrix, p P
 				continue
 			}
 			dst := topology.NodeID(d)
-			path := tab.Path(src, dst)
 			lat := p.RouterPipelineClks // ejection router
 			routerLoad[s] += rate
-			for _, lid := range path {
-				l := net.Links[lid]
-				linkLoad[lid] += rate
+			// Walk the route link by link instead of materializing
+			// tab.Path: this loop runs for every (src, dst) pair of
+			// every design point, and the per-pair path slices used
+			// to dominate a sweep's allocations.
+			hops := 0
+			for at := src; at != dst; {
+				l := tab.Hop(at, dst, hops)
+				if l == nil {
+					return Result{}, fmt.Errorf("analytic: %d -> %d: %w", src, dst, tab.HopErr(at, dst, hops))
+				}
+				linkLoad[l.ID] += rate
 				routerLoad[l.Dst] += rate
 				lat += p.RouterPipelineClks + l.LatencyClks
 				totalFlitHops += rate
 				if l.Express {
 					expressFlits += rate
 				}
+				at = l.Dst
+				hops++
 			}
 			latSum += rate * float64(lat)
-			hopSum += rate * float64(len(path))
+			hopSum += rate * float64(hops)
 			rateSum += rate
 		}
 	}

@@ -78,6 +78,11 @@ type Options struct {
 	Traffic traffic.SoteriouConfig
 	// Policy selects the routing table construction.
 	Policy routing.Policy
+	// Cache scopes the network/table/traffic memoization for this
+	// Options value; nil selects the process-wide default cache. Set a
+	// private NewNetworkCache to bound cache lifetime in long-lived
+	// processes sweeping many distinct geometries.
+	Cache *NetworkCache
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -126,15 +131,11 @@ func ExploreContext(ctx context.Context, points []DesignPoint, o Options, cfg ru
 	params := analytic.Params{DSENT: o.DSENT, RouterPipelineClks: o.RouterPipelineClks}
 	return runner.Map(ctx, len(points), cfg, func(_ context.Context, i int) (ExplorationResult, error) {
 		p := points[i]
-		net, err := o.BuildNetwork(p)
+		net, tab, err := o.NetworkAndTable(p)
 		if err != nil {
 			return ExplorationResult{}, fmt.Errorf("core: %v: %w", p, err)
 		}
-		tab, err := routing.Build(net, o.Policy)
-		if err != nil {
-			return ExplorationResult{}, fmt.Errorf("core: %v: %w", p, err)
-		}
-		tm, err := traffic.Soteriou(net, o.Traffic)
+		tm, err := o.cache().Soteriou(net, o.Traffic)
 		if err != nil {
 			return ExplorationResult{}, fmt.Errorf("core: %v: %w", p, err)
 		}
@@ -170,15 +171,19 @@ type TraceResult struct {
 // with the cycle-accurate simulator, then prices the run with the
 // modified-DSENT models.
 func RunTraceExperiment(kernel npb.Config, point DesignPoint, o Options, nocCfg noc.Config) (TraceResult, error) {
+	return runTraceExperiment(kernel, point, o, nocCfg, nil)
+}
+
+// runTraceExperiment is RunTraceExperiment with simulator reuse: the Sim is
+// drawn from (and returned to) sims when non-nil. The topology and routing
+// table always come from the process-wide network cache.
+func runTraceExperiment(kernel npb.Config, point DesignPoint, o Options, nocCfg noc.Config,
+	sims *noc.SimPool) (TraceResult, error) {
 	events, err := npb.Generate(kernel)
 	if err != nil {
 		return TraceResult{}, err
 	}
-	net, err := o.BuildNetwork(point)
-	if err != nil {
-		return TraceResult{}, err
-	}
-	tab, err := routing.Build(net, o.Policy)
+	net, tab, err := o.NetworkAndTable(point)
 	if err != nil {
 		return TraceResult{}, err
 	}
@@ -186,7 +191,7 @@ func RunTraceExperiment(kernel npb.Config, point DesignPoint, o Options, nocCfg 
 	if err != nil {
 		return TraceResult{}, err
 	}
-	sim, err := noc.New(net, tab, nocCfg)
+	sim, err := sims.Get(net, tab, nocCfg)
 	if err != nil {
 		return TraceResult{}, err
 	}
@@ -194,6 +199,7 @@ func RunTraceExperiment(kernel npb.Config, point DesignPoint, o Options, nocCfg 
 		return TraceResult{}, err
 	}
 	stats, err := sim.Run()
+	sims.Put(sim)
 	if err != nil {
 		return TraceResult{}, err
 	}
@@ -222,10 +228,14 @@ type TraceJob struct {
 // a bounded worker pool, returning results in job order. Each job is a full
 // RunTraceExperiment — trace generation, packetization, cycle-accurate
 // simulation and DSENT pricing — so per-job results are bit-identical to
-// running the jobs serially. The first failure cancels the remaining jobs.
+// running the jobs serially. Simulators are recycled across the batch
+// through one noc.SimPool (jobs sharing a design point share simulators),
+// bounding simulator construction at one per live worker per point. The
+// first failure cancels the remaining jobs.
 func RunTraceExperiments(ctx context.Context, jobs []TraceJob, o Options, nocCfg noc.Config, cfg runner.Config) ([]TraceResult, error) {
+	sims := noc.NewSimPool()
 	return runner.Map(ctx, len(jobs), cfg, func(_ context.Context, i int) (TraceResult, error) {
-		res, err := RunTraceExperiment(jobs[i].Kernel, jobs[i].Point, o, nocCfg)
+		res, err := runTraceExperiment(jobs[i].Kernel, jobs[i].Point, o, nocCfg, sims)
 		if err != nil {
 			return TraceResult{}, fmt.Errorf("core: %v on %v: %w", jobs[i].Kernel.Kernel, jobs[i].Point, err)
 		}
@@ -274,15 +284,11 @@ func PriceRun(net *topology.Network, stats noc.Stats, cfg dsent.Config) (dynamic
 func AllOpticalRadar(o Options) (optical.Radar, error) {
 	var radar optical.Radar
 	plain := DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}
-	net, err := o.BuildNetwork(plain)
+	net, tab, err := o.NetworkAndTable(plain)
 	if err != nil {
 		return radar, err
 	}
-	tab, err := routing.Build(net, o.Policy)
-	if err != nil {
-		return radar, err
-	}
-	tm, err := traffic.Soteriou(net, o.Traffic)
+	tm, err := o.cache().Soteriou(net, o.Traffic)
 	if err != nil {
 		return radar, err
 	}

@@ -74,6 +74,99 @@ func TestTraceExperimentsSerialParallelIdentical(t *testing.T) {
 	}
 }
 
+// TestTraceExperimentsPooledMatchesFresh: the batch path recycles
+// simulators through a noc.SimPool while the single-experiment path builds
+// fresh ones — results must be bit-identical, per-job and across repeated
+// batches (warm network cache, warm pools). This is the core-layer
+// enforcement of the Sim.Reset reuse contract; run under -race via
+// make race.
+func TestTraceExperimentsPooledMatchesFresh(t *testing.T) {
+	o := DefaultOptions()
+	k := npb.DefaultConfig(npb.LU)
+	k.Iterations = 1
+	k.Scale = 1.0 / 64
+	var jobs []TraceJob
+	// Repeating design points makes the pool actually reuse simulators
+	// (a kernel ladder on a fixed point is the hyppi-sim shape).
+	for _, hops := range []int{0, 3, 0, 3} {
+		jobs = append(jobs, TraceJob{Kernel: k, Point: DesignPoint{
+			Base: tech.Electronic, Express: tech.HyPPI, Hops: hops}})
+	}
+	fresh := make([]TraceResult, len(jobs))
+	for i, j := range jobs {
+		r, err := RunTraceExperiment(j.Kernel, j.Point, o, noc.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[i] = r
+	}
+	for round := 0; round < 2; round++ {
+		for _, workers := range []int{1, 3} {
+			pooled, err := RunTraceExperiments(context.Background(), jobs, o,
+				noc.DefaultConfig(), runner.Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range fresh {
+				if !reflect.DeepEqual(fresh[i], pooled[i]) {
+					t.Errorf("round %d workers=%d job %d (%v): pooled result differs from fresh",
+						round, workers, i, jobs[i].Point)
+				}
+			}
+		}
+	}
+}
+
+// TestExploreRepeatedCallsIdentical: the process-wide network, table and
+// traffic caches must not let one sweep's results leak into the next —
+// repeated explorations are bit-identical.
+func TestExploreRepeatedCallsIdentical(t *testing.T) {
+	o := DefaultOptions()
+	pts := DefaultDesignSpace()
+	if testing.Short() {
+		pts = pts[:4]
+	}
+	first, err := Explore(pts, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Explore(pts, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("repeated Explore calls diverge (cache contamination)")
+	}
+}
+
+// TestScopedCacheMatchesDefault: Options.Cache with a private cache (and
+// a nil NetworkCache building uncached) must be bit-identical to the
+// process-wide default cache.
+func TestScopedCacheMatchesDefault(t *testing.T) {
+	o := DefaultOptions()
+	pts := DefaultDesignSpace()[:4]
+	def, err := Explore(pts, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Cache = NewNetworkCache()
+	scoped, err := Explore(pts, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, scoped) {
+		t.Error("scoped-cache exploration diverges from default cache")
+	}
+	var nilCache *NetworkCache
+	net, tab, err := nilCache.Get(o.Topology, o.Policy)
+	if err != nil || net == nil || tab == nil {
+		t.Fatalf("nil cache must build uncached: %v", err)
+	}
+	if _, err := nilCache.Soteriou(net, o.Traffic); err != nil {
+		t.Fatalf("nil cache Soteriou: %v", err)
+	}
+}
+
 // TestExploreCancellationPropagates: a cancelled context aborts the sweep
 // with context.Canceled instead of returning partial results.
 func TestExploreCancellationPropagates(t *testing.T) {

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// NetworkCache memoizes built topologies and their routing tables, keyed by
+// the full (topology.Config, routing.Policy) pair. Design-space sweeps
+// revisit the same handful of networks constantly — every rate of a
+// load-latency ladder, every kernel of a trace batch and every repetition
+// of a benchmark shares the point's network — and building the O(n²)
+// routing table dominated sweep setup before caching.
+//
+// Both cached values are immutable after construction (the repository-wide
+// read-only contract in CHANGES.md), so one instance is safely shared by
+// any number of concurrent jobs, and the stable pointers double as the
+// identity that noc.SimPool keys simulator reuse on.
+//
+// Sweeps that must bound cache lifetime (a long-lived server exploring
+// many distinct geometries) set Options.Cache to a scoped NewNetworkCache
+// and drop it afterwards; the default is one process-wide cache. A nil
+// *NetworkCache is valid and builds uncached.
+type NetworkCache struct {
+	mu sync.Mutex
+	m  map[netKey]*netEntry
+	tm map[tmKey]*tmEntry
+}
+
+type netKey struct {
+	topo   topology.Config
+	policy routing.Policy
+}
+
+// netEntry builds at most once per key; the once runs outside the cache
+// lock so concurrent misses on different keys build in parallel.
+type netEntry struct {
+	once sync.Once
+	net  *topology.Network
+	tab  *routing.Table
+	err  error
+}
+
+// NewNetworkCache returns an empty cache.
+func NewNetworkCache() *NetworkCache {
+	return &NetworkCache{
+		m:  make(map[netKey]*netEntry),
+		tm: make(map[tmKey]*tmEntry),
+	}
+}
+
+// defaultNetCache backs Options.NetworkAndTable when Options.Cache is nil:
+// sweeps in one process share built networks across calls, which is what
+// lets repeated explorations and benchmark iterations run allocation-free
+// on the topology side. Entries are a few hundred kB each (the routing
+// table is the O(n²) part) and live for the process.
+var defaultNetCache = NewNetworkCache()
+
+// Get returns the built network and routing table for a configuration,
+// constructing them on first use.
+func (c *NetworkCache) Get(topo topology.Config, policy routing.Policy) (*topology.Network, *routing.Table, error) {
+	if c == nil {
+		return buildNetworkAndTable(topo, policy)
+	}
+	key := netKey{topo: topo, policy: policy}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &netEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.net, e.tab, e.err = buildNetworkAndTable(topo, policy)
+	})
+	return e.net, e.tab, e.err
+}
+
+func buildNetworkAndTable(topo topology.Config, policy routing.Policy) (*topology.Network, *routing.Table, error) {
+	net, err := topology.Build(topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := routing.Build(net, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, tab, nil
+}
+
+// cache resolves the cache the Options route through: the explicit one
+// when set, the process-wide default otherwise.
+func (o Options) cache() *NetworkCache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return defaultNetCache
+}
+
+// NetworkAndTable resolves a design point to its (shared, immutable)
+// network and routing table through the Options' cache (Options.Cache, or
+// the process-wide default). Plain-mesh points normalize the unused
+// express technology so all Hops == 0 variants of a base technology share
+// one entry.
+func (o Options) NetworkAndTable(p DesignPoint) (*topology.Network, *routing.Table, error) {
+	c := o.Topology
+	c.BaseTech = p.Base
+	c.ExpressTech = p.Express
+	c.ExpressHops = p.Hops
+	if c.ExpressHops == 0 {
+		c.ExpressTech = c.BaseTech // unused by Build; fold cache keys
+	}
+	return o.cache().Get(c, o.Policy)
+}
+
+// tmKey identifies a Soteriou matrix: the statistical model reads only the
+// node grid geometry (NumNodes, Width, Height and Manhattan MeshDistance),
+// never the link technologies, so every design point of a W×H sweep shares
+// one matrix. The matrix is immutable after construction.
+type tmKey struct {
+	w, h int
+	cfg  traffic.SoteriouConfig
+}
+
+type tmEntry struct {
+	once sync.Once
+	m    *traffic.Matrix
+	err  error
+}
+
+// Soteriou memoizes traffic.Soteriou per grid geometry and model
+// configuration: the matrix is O(n²) and was rebuilt identically for every
+// design point of a sweep. A nil cache builds uncached.
+func (c *NetworkCache) Soteriou(net *topology.Network, cfg traffic.SoteriouConfig) (*traffic.Matrix, error) {
+	if c == nil {
+		return traffic.Soteriou(net, cfg)
+	}
+	key := tmKey{w: net.Width, h: net.Height, cfg: cfg}
+	c.mu.Lock()
+	e, ok := c.tm[key]
+	if !ok {
+		e = &tmEntry{}
+		c.tm[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.m, e.err = traffic.Soteriou(net, cfg)
+	})
+	return e.m, e.err
+}

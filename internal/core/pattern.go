@@ -78,12 +78,14 @@ func (r PatternSweepResult) ZeroLoadLatencyClks() float64 {
 }
 
 // PatternSweep runs the design-point × pattern saturation matrix on the
-// worker pool: each (point, pattern) job builds its own network and
-// routing table, generates the pattern matrix, and walks the rate ladder
-// serially with the cycle-accurate simulator. Jobs share only read-only
-// inputs and results are collected in (point-major, pattern-minor) order,
-// so the output is bit-identical for any worker count — the same
-// determinism contract as Explore. The first failure cancels the batch.
+// worker pool: each (point, pattern) job resolves its network and routing
+// table through the process-wide cache, generates the pattern matrix, and
+// walks the rate ladder serially with the cycle-accurate simulator,
+// recycling simulators through one batch-wide noc.SimPool. Jobs share only
+// read-only inputs and results are collected in (point-major,
+// pattern-minor) order, so the output is bit-identical for any worker
+// count — the same determinism contract as Explore. The first failure
+// cancels the batch.
 func PatternSweep(ctx context.Context, points []DesignPoint, patterns []traffic.Pattern,
 	sc PatternSweepConfig, o Options, pool runner.Config) ([]PatternSweepResult, error) {
 	if err := sc.Validate(); err != nil {
@@ -92,21 +94,18 @@ func PatternSweep(ctx context.Context, points []DesignPoint, patterns []traffic.
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("core: pattern sweep with no patterns")
 	}
-	// Networks and routing tables depend only on the design point: build
-	// them once up front and share them read-only across the pool.
+	// Networks and routing tables depend only on the design point:
+	// resolve them once up front and share them read-only across the pool.
 	nets := make([]*topology.Network, len(points))
 	tabs := make([]*routing.Table, len(points))
 	for i, point := range points {
-		net, err := o.BuildNetwork(point)
-		if err != nil {
-			return nil, fmt.Errorf("core: %v: %w", point, err)
-		}
-		tab, err := routing.Build(net, o.Policy)
+		net, tab, err := o.NetworkAndTable(point)
 		if err != nil {
 			return nil, fmt.Errorf("core: %v: %w", point, err)
 		}
 		nets[i], tabs[i] = net, tab
 	}
+	sims := noc.NewSimPool()
 	n := len(points) * len(patterns)
 	return runner.Map(ctx, n, pool, func(ctx context.Context, i int) (PatternSweepResult, error) {
 		pi, pat := i/len(patterns), patterns[i%len(patterns)]
@@ -115,7 +114,7 @@ func PatternSweep(ctx context.Context, points []DesignPoint, patterns []traffic.
 		// pool already fans out across (point, pattern) cells, and nested
 		// pools would oversubscribe without improving determinism.
 		curves, err := noc.PatternLoadLatencyCurves(ctx, net, tab,
-			[]traffic.Pattern{pat}, sc.Rates, sc.Workload, sc.NoC, runner.Config{Workers: 1})
+			[]traffic.Pattern{pat}, sc.Rates, sc.Workload, sc.NoC, runner.Config{Workers: 1}, sims)
 		if err != nil {
 			return PatternSweepResult{}, fmt.Errorf("core: %v / %s: %w", point, pat.Name(), err)
 		}

@@ -18,11 +18,35 @@
 // The simulator is synchronous and strictly deterministic: all state is
 // iterated in index order and every arbiter is round-robin, so identical
 // inputs give bit-identical results.
+//
+// # Active-set kernel
+//
+// The per-cycle cost scales with live flits, not network size. Three event
+// structures replace full scans:
+//
+//   - an active-router worklist (a node-indexed bitmap, iterated in index
+//     order so arbitration order matches the historical full scan) feeds
+//     the allocation and traversal stages only the routers with buffered
+//     flits;
+//   - a cycle-bucketed arrival calendar replaces per-link pipe queues:
+//     a flit sent on a channel is filed under its arrival cycle, so
+//     delivery touches exactly the flits arriving now instead of scanning
+//     every channel. Channel latencies are constant per link and at most
+//     one flit enters a channel per cycle, so per-channel FIFO order is
+//     preserved by construction;
+//   - a release min-heap parks traffic sources between packets, so the
+//     injection stage visits only sources with a ready packet.
+//
+// Router state lives in contiguous per-Sim arenas (struct-of-arrays):
+// building a Sim performs a fixed, small number of allocations whatever
+// the network size, and Reset rewinds everything for reuse without
+// reallocating (see Reset and SimPool).
 package noc
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"repro/internal/routing"
 	"repro/internal/stats"
@@ -65,7 +89,9 @@ type Packet struct {
 	Release int64
 }
 
-// Stats summarizes a run.
+// Stats summarizes a run. The slices are owned by the returned value: a
+// Sim that is Reset for reuse allocates fresh counters, so Stats escaping
+// a run stay valid.
 type Stats struct {
 	// Cycles is the cycle count at drain.
 	Cycles int64
@@ -110,7 +136,9 @@ type bufEntry struct {
 // ring is a fixed-capacity circular FIFO. The simulator's queues are all
 // bounded (VC buffers by BufDepthFlits, channels by the credit loop), so
 // after New the hot path performs no queue allocations; grow exists only as
-// a defensive fallback should a bound ever be exceeded.
+// a defensive fallback should a bound ever be exceeded. VC rings share one
+// arena-backed buffer per Sim; a ring that grows migrates onto a private
+// buffer of its own, leaving the arena slot unused.
 type ring[T any] struct {
 	buf  []T
 	head int
@@ -162,6 +190,11 @@ func (r *ring[T]) grow() {
 	r.head = 0
 }
 
+// reset rewinds the ring to empty. A grown (non-arena) buffer is kept: ring
+// capacity never affects simulation results, only the len checks against
+// BufDepthFlits do.
+func (r *ring[T]) reset() { r.head, r.n = 0, 0 }
+
 // vcState is one input virtual channel.
 type vcState struct {
 	q ring[bufEntry]
@@ -183,10 +216,11 @@ type vcState struct {
 type outState struct {
 	// link is the channel this output drives (-1 for ejection).
 	link topology.LinkID
-	// credits[v] is remaining buffer space at the downstream VC v.
+	// credits[v] is remaining buffer space at the downstream VC v
+	// (arena-backed; unused for the ejection port).
 	credits []int16
 	// owner[v] is the input VC (packed port*VCs+vc) owning output VC v,
-	// -1 when free.
+	// -1 when free (arena-backed).
 	owner []int32
 	// saPtr is the output-side round-robin pointer over input ports.
 	saPtr int
@@ -198,15 +232,19 @@ type outState struct {
 	classed bool
 }
 
-// router is one node's switch.
+// router is one node's switch. All slices are views into per-Sim arenas.
 type router struct {
 	id topology.NodeID
-	// in[p][v]: input VC v of port p; port 0 is injection.
-	in [][]vcState
+	// nin is the input port count; port 0 is injection.
+	nin int
+	// in[p*VCs+v]: input VC v of port p.
+	in []vcState
 	// out[p]: output port p; port 0 is ejection.
 	out []outState
 	// inSAPtr is the per-input-port round-robin pointer over VCs.
-	inSAPtr []int
+	inSAPtr []int32
+	// inLink[p] is the channel feeding input port p (port 0 unused).
+	inLink []topology.LinkID
 	// inIsX[p] marks input ports fed by horizontal channels; used to
 	// reset the dateline class at the X→Y dimension transition so one
 	// class bit suffices for both dimensions' rings.
@@ -215,14 +253,16 @@ type router struct {
 	outIsY []bool
 }
 
-// linkPipe carries in-flight flits over one channel.
-type linkPipe struct {
-	q ring[linkEntry]
+// arrival is one in-flight flit filed in the arrival calendar.
+type arrival struct {
+	f   flit
+	lid int32
 }
 
-type linkEntry struct {
-	f      flit
-	arrive int64
+// srcRel parks a dormant traffic source until its next packet's release.
+type srcRel struct {
+	rel  int64
+	node int32
 }
 
 // pktMeta is per-packet runtime accounting.
@@ -234,18 +274,27 @@ type pktMeta struct {
 }
 
 // Sim is one simulation instance. It is not safe for concurrent use;
-// parallelize across Sim instances.
+// parallelize across Sim instances (see SimPool).
 type Sim struct {
 	net *topology.Network
 	tab *routing.Table
 	cfg Config
 
 	routers []router
-	pipes   []linkPipe
 	// inPortOf[l] is the input port index of link l at its Dst router;
-	// outPortOf[l] is the output port index at its Src router.
+	// outPortOf[l] is the output port index at its Src router. linkDst,
+	// linkSrc and linkLat cache the per-link fields the hot path needs so
+	// delivery and credit return never chase into net.Links.
 	inPortOf  []int16
 	outPortOf []int16
+	linkDst   []int32
+	linkSrc   []int32
+	linkLat   []int32
+
+	// calendar[c % len] lists the flits arriving at cycle c. Sized to
+	// exceed the largest possible send-to-arrival delay (1 cycle switch
+	// traversal + max channel latency), so buckets never alias.
+	calendar [][]arrival
 
 	pkts    []pktMeta
 	sources [][]int32 // per node: packet indices in release order
@@ -253,7 +302,15 @@ type Sim struct {
 	srcFlit []int32   // per node: next flit seq of current packet
 	srcVC   []int8    // per node: VC carrying the current packet (-1)
 
+	// relHeap is a min-heap (release, node) of dormant sources; srcMask
+	// marks sources with a ready packet, iterated in index order. liveSrc
+	// counts set bits.
+	relHeap []srcRel
+	srcMask []uint64
+	liveSrc int
+
 	now       int64
+	ran       bool
 	stats     Stats
 	latSum    float64
 	latencies stats.Sample
@@ -261,14 +318,18 @@ type Sim struct {
 
 	// Activity tracking lets idle stretches be skipped and idle routers
 	// bypassed: buffered counts flits in input buffers per router,
-	// inflight counts flits on channels.
-	buffered []int32
-	totalBuf int64
-	inflight int64
-	scratch  []int32
+	// inflight counts flits on channels. activeMask mirrors buffered>0
+	// as a bitmap — the active-router worklist.
+	buffered   []int32
+	totalBuf   int64
+	inflight   int64
+	activeMask []uint64
 	// cand is the switch allocator's per-cycle candidate scratch (one slot
-	// per input port of the widest router), reused across cycles.
+	// per input port of the widest router); reqs is the VC allocator's
+	// per-output-port requester scratch. Both are sized at construction
+	// and reused across cycles — the hot path never allocates.
 	cand []int
+	reqs [][]int32
 
 	// classed enables dateline VC-class partitioning: required for the
 	// torus-like hops = Width−1 topology, where packets crossing a row
@@ -284,7 +345,9 @@ type creditEvent struct {
 	vc   int8
 }
 
-// New builds a simulator for a network and routing table.
+// New builds a simulator for a network and routing table. Construction
+// performs a fixed, small number of allocations: router state lives in
+// shared arenas, not per-router slices.
 func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -296,92 +359,211 @@ func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("noc: torus-like topology needs ≥2 VCs for dateline classes, have %d", cfg.VCs)
 	}
 	n := net.NumNodes()
+	nl := len(net.Links)
+	vcs := cfg.VCs
+	depth := cfg.BufDepthFlits
 	s := &Sim{
-		net:       net,
-		tab:       tab,
-		cfg:       cfg,
-		routers:   make([]router, n),
-		pipes:     make([]linkPipe, len(net.Links)),
-		inPortOf:  make([]int16, len(net.Links)),
-		outPortOf: make([]int16, len(net.Links)),
-		sources:   make([][]int32, n),
-		srcPos:    make([]int, n),
-		srcFlit:   make([]int32, n),
-		srcVC:     make([]int8, n),
-		buffered:  make([]int32, n),
+		net:        net,
+		tab:        tab,
+		cfg:        cfg,
+		routers:    make([]router, n),
+		inPortOf:   make([]int16, nl),
+		outPortOf:  make([]int16, nl),
+		linkDst:    make([]int32, nl),
+		linkSrc:    make([]int32, nl),
+		linkLat:    make([]int32, nl),
+		sources:    make([][]int32, n),
+		srcPos:     make([]int, n),
+		srcFlit:    make([]int32, n),
+		srcVC:      make([]int8, n),
+		buffered:   make([]int32, n),
+		activeMask: make([]uint64, (n+63)/64),
+		srcMask:    make([]uint64, (n+63)/64),
 	}
-	s.stats.LinkFlits = make([]int64, len(net.Links))
+	s.stats.LinkFlits = make([]int64, nl)
 	s.stats.RouterFlits = make([]int64, n)
 	s.classed = net.HasDateline()
 	// Class 1 (post-wrap) packets are the rare case: give them the top
 	// VC only and keep the rest for class 0, minimizing the partition
 	// penalty on non-wrapping traffic.
-	s.class0VCs = int8(cfg.VCs - 1)
+	s.class0VCs = int8(vcs - 1)
 	for i := range s.srcVC {
 		s.srcVC[i] = -1
 	}
+
+	// Arena sizing: total input/output ports across the network, plus the
+	// widest router for the allocator scratch.
+	totalIn, totalOut, maxIn, maxOut := 0, 0, 0, 0
+	for id := 0; id < n; id++ {
+		node := topology.NodeID(id)
+		nin := 1 + len(net.InLinks(node))
+		nout := 1 + len(net.OutLinks(node))
+		totalIn += nin
+		totalOut += nout
+		if nin > maxIn {
+			maxIn = nin
+		}
+		if nout > maxOut {
+			maxOut = nout
+		}
+	}
+	var (
+		vcArena   = make([]vcState, totalIn*vcs)
+		bufArena  = make([]bufEntry, totalIn*vcs*depth)
+		saArena   = make([]int32, totalIn)
+		ilArena   = make([]topology.LinkID, totalIn)
+		ixArena   = make([]bool, totalIn)
+		outArena  = make([]outState, totalOut)
+		credArena = make([]int16, totalOut*vcs)
+		ownArena  = make([]int32, totalOut*vcs)
+		oyArena   = make([]bool, totalOut)
+	)
+	s.cand = make([]int, maxIn)
+	s.reqs = make([][]int32, maxOut)
+	reqArena := make([]int32, maxOut*maxIn*vcs)
+	for op := range s.reqs {
+		s.reqs[op] = reqArena[op*maxIn*vcs : op*maxIn*vcs : (op+1)*maxIn*vcs]
+	}
+
+	inOff, outOff := 0, 0 // port offsets into the arenas
 	for id := 0; id < n; id++ {
 		node := topology.NodeID(id)
 		inLinks := net.InLinks(node)
 		outLinks := net.OutLinks(node)
+		nin := 1 + len(inLinks)
+		nout := 1 + len(outLinks)
 		r := router{
 			id:      node,
-			in:      make([][]vcState, 1+len(inLinks)),
-			out:     make([]outState, 1+len(outLinks)),
-			inSAPtr: make([]int, 1+len(inLinks)),
-			inIsX:   make([]bool, 1+len(inLinks)),
-			outIsY:  make([]bool, 1+len(outLinks)),
+			nin:     nin,
+			in:      vcArena[inOff*vcs : (inOff+nin)*vcs : (inOff+nin)*vcs],
+			out:     outArena[outOff : outOff+nout : outOff+nout],
+			inSAPtr: saArena[inOff : inOff+nin : inOff+nin],
+			inLink:  ilArena[inOff : inOff+nin : inOff+nin],
+			inIsX:   ixArena[inOff : inOff+nin : inOff+nin],
+			outIsY:  oyArena[outOff : outOff+nout : outOff+nout],
 		}
-		for p := range r.in {
-			r.in[p] = make([]vcState, cfg.VCs)
-			for v := range r.in[p] {
-				r.in[p][v].q = newRing[bufEntry](cfg.BufDepthFlits)
-				r.in[p][v].outVC = -1
-				r.in[p][v].writer = -1
+		for i := range r.in {
+			base := (inOff*vcs + i) * depth
+			r.in[i] = vcState{
+				q:      ring[bufEntry]{buf: bufArena[base : base+depth : base+depth]},
+				outVC:  -1,
+				writer: -1,
 			}
 		}
-		if len(r.in) > len(s.cand) {
-			s.cand = make([]int, len(r.in))
+		// Output 0: ejection (ideal sink, no credit bound); owner
+		// bookkeeping is still needed for VC allocation.
+		ej := ownArena[outOff*vcs : (outOff+1)*vcs : (outOff+1)*vcs]
+		for v := range ej {
+			ej[v] = -1
 		}
-		// Output 0: ejection (ideal sink, no credit bound).
-		r.out[0] = outState{link: -1}
+		r.out[0] = outState{link: -1, owner: ej}
 		for i, lid := range outLinks {
-			credits := make([]int16, cfg.VCs)
-			owner := make([]int32, cfg.VCs)
-			for v := range credits {
-				credits[v] = int16(cfg.BufDepthFlits)
+			op := 1 + i
+			cbase := (outOff + op) * vcs
+			credits := credArena[cbase : cbase+vcs : cbase+vcs]
+			owner := ownArena[cbase : cbase+vcs : cbase+vcs]
+			for v := 0; v < vcs; v++ {
+				credits[v] = int16(depth)
 				owner[v] = -1
 			}
 			l := net.Links[lid]
-			r.out[1+i] = outState{
+			r.out[op] = outState{
 				link:    lid,
 				credits: credits,
 				owner:   owner,
 				classed: (net.HasDatelineX() && l.DX(net) != 0) ||
 					(net.HasDatelineY() && l.DY(net) != 0),
 			}
-			r.outIsY[1+i] = l.DY(net) != 0
-			s.outPortOf[lid] = int16(1 + i)
+			r.outIsY[op] = l.DY(net) != 0
+			s.outPortOf[lid] = int16(op)
 		}
 		for i, lid := range inLinks {
 			s.inPortOf[lid] = int16(1 + i)
+			r.inLink[1+i] = lid
 			r.inIsX[1+i] = net.Links[lid].DX(net) != 0
 		}
-		// Ejection owner bookkeeping still needed for VC allocation.
-		r.out[0].credits = nil
-		ej := make([]int32, cfg.VCs)
-		for v := range ej {
-			ej[v] = -1
-		}
-		r.out[0].owner = ej
 		s.routers[id] = r
+		inOff += nin
+		outOff += nout
 	}
-	// Credit-based flow control bounds in-flight flits per channel at the
-	// downstream buffer pool, so the pipes never grow past this capacity.
-	for i := range s.pipes {
-		s.pipes[i].q = newRing[linkEntry](cfg.VCs * cfg.BufDepthFlits)
+
+	maxLat := 1
+	for i, l := range net.Links {
+		s.linkDst[i] = int32(l.Dst)
+		s.linkSrc[i] = int32(l.Src)
+		s.linkLat[i] = int32(l.LatencyClks)
+		if l.LatencyClks > maxLat {
+			maxLat = l.LatencyClks
+		}
 	}
+	// The send-to-arrival delay is 1 (switch traversal) + channel latency,
+	// so maxLat+2 buckets guarantee a bucket is drained before any send
+	// can refile into it.
+	s.calendar = make([][]arrival, maxLat+2)
 	return s, nil
+}
+
+// Reset rewinds the simulator to its freshly-constructed state, reusing
+// every buffer: queued packets, statistics and all router state are
+// cleared without reallocating the arenas. The flit counters of the
+// previous run's Stats are handed off to that Stats value (fresh slices
+// are allocated), so results captured before Reset stay valid. A Reset
+// Sim behaves bit-identically to a new Sim on the same inputs.
+func (s *Sim) Reset() {
+	for rid := range s.routers {
+		r := &s.routers[rid]
+		for i := range r.in {
+			vc := &r.in[i]
+			vc.q.reset()
+			vc.routed = false
+			vc.outPort = 0
+			vc.outVC = -1
+			vc.outCls = 0
+			vc.writer = -1
+		}
+		for op := range r.out {
+			out := &r.out[op]
+			for v := range out.owner {
+				out.owner[v] = -1
+			}
+			for v := range out.credits {
+				out.credits[v] = int16(s.cfg.BufDepthFlits)
+			}
+			out.saPtr = 0
+			out.vaPtr = 0
+		}
+		for p := range r.inSAPtr {
+			r.inSAPtr[p] = 0
+		}
+	}
+	for i := range s.calendar {
+		s.calendar[i] = s.calendar[i][:0]
+	}
+	s.pkts = s.pkts[:0]
+	for i := range s.sources {
+		s.sources[i] = s.sources[i][:0]
+	}
+	for i := range s.srcPos {
+		s.srcPos[i] = 0
+		s.srcFlit[i] = 0
+		s.srcVC[i] = -1
+	}
+	s.relHeap = s.relHeap[:0]
+	clear(s.srcMask)
+	s.liveSrc = 0
+	s.now = 0
+	s.ran = false
+	s.stats = Stats{
+		LinkFlits:   make([]int64, len(s.net.Links)),
+		RouterFlits: make([]int64, s.net.NumNodes()),
+	}
+	s.latSum = 0
+	s.latencies.Reset()
+	s.credits = s.credits[:0]
+	clear(s.buffered)
+	s.totalBuf = 0
+	s.inflight = 0
+	clear(s.activeMask)
 }
 
 // Inject queues a packet for injection. Must be called before Run.
@@ -413,14 +595,32 @@ func (s *Sim) InjectAll(ps []Packet) error {
 }
 
 // Run simulates until every injected packet has fully ejected, or MaxCycles
-// elapses (an error: the network failed to drain).
+// elapses (an error: the network failed to drain). A Sim runs once; call
+// Reset before reusing it.
 func (s *Sim) Run() (Stats, error) {
-	// Stable order: by release cycle, then insertion order.
+	if s.ran {
+		return s.stats, fmt.Errorf("noc: Run called again without Reset")
+	}
+	s.ran = true
+	// Stable order: by release cycle, then insertion order. Each source
+	// with pending packets parks in the release heap until its first
+	// packet is due.
 	for node := range s.sources {
 		q := s.sources[node]
-		sort.SliceStable(q, func(i, j int) bool {
-			return s.pkts[q[i]].Release < s.pkts[q[j]].Release
+		slices.SortStableFunc(q, func(a, b int32) int {
+			ra, rb := s.pkts[a].Release, s.pkts[b].Release
+			switch {
+			case ra < rb:
+				return -1
+			case ra > rb:
+				return 1
+			default:
+				return 0
+			}
 		})
+		if len(q) > 0 {
+			s.heapPush(srcRel{rel: s.pkts[q[0]].Release, node: int32(node)})
+		}
 	}
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
@@ -434,20 +634,11 @@ func (s *Sim) Run() (Stats, error) {
 				remaining, s.now)
 		}
 		// Fast-forward across fully idle stretches (gaps between trace
-		// bursts): nothing buffered, nothing in flight — jump to the
-		// earliest pending release.
-		if s.totalBuf == 0 && s.inflight == 0 {
-			next := int64(-1)
-			for node := range s.sources {
-				if pos := s.srcPos[node]; pos < len(s.sources[node]) {
-					rel := s.pkts[s.sources[node][pos]].Release
-					if next < 0 || rel < next {
-						next = rel
-					}
-				}
-			}
-			if next > s.now {
-				s.now = next
+		// bursts): nothing buffered, nothing in flight, no source with a
+		// ready packet — jump to the earliest parked release.
+		if s.totalBuf == 0 && s.inflight == 0 && s.liveSrc == 0 {
+			if len(s.relHeap) > 0 && s.relHeap[0].rel > s.now {
+				s.now = s.relHeap[0].rel
 			}
 		}
 		s.deliverLinkArrivals()
@@ -475,254 +666,328 @@ func (s *Sim) Run() (Stats, error) {
 	return s.stats, nil
 }
 
-// deliverLinkArrivals moves flits whose channel delay elapsed into the
-// downstream input buffers. Credits were reserved at send time, so space is
-// guaranteed.
+// activateRouter marks a router as having buffered flits.
+func (s *Sim) activateRouter(rid int32) {
+	s.activeMask[rid>>6] |= 1 << (uint(rid) & 63)
+}
+
+// deliverLinkArrivals moves the flits whose channel delay elapses this
+// cycle into the downstream input buffers. Credits were reserved at send
+// time, so space is guaranteed. Arrivals in one cycle always target
+// distinct (router, port) pairs — each input port is fed by one channel
+// and a channel carries at most one flit per cycle — so bucket order
+// cannot affect simulation state.
 func (s *Sim) deliverLinkArrivals() {
-	for lid := range s.pipes {
-		pipe := &s.pipes[lid]
-		for pipe.q.len() > 0 && pipe.q.front().arrive <= s.now {
-			e := pipe.q.pop()
-			l := s.net.Links[lid]
-			r := &s.routers[l.Dst]
-			port := s.inPortOf[lid]
-			vc := &r.in[port][e.f.vc]
-			vc.q.push(bufEntry{f: e.f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
-			s.stats.RouterFlits[l.Dst]++
-			s.buffered[l.Dst]++
-			s.totalBuf++
-			s.inflight--
+	if s.inflight == 0 {
+		return
+	}
+	bi := int(s.now % int64(len(s.calendar)))
+	bucket := s.calendar[bi]
+	if len(bucket) == 0 {
+		return
+	}
+	vcs := s.cfg.VCs
+	ready := s.now + int64(s.cfg.PipelineClks) - 1
+	for i := range bucket {
+		e := &bucket[i]
+		dst := s.linkDst[e.lid]
+		r := &s.routers[dst]
+		port := int(s.inPortOf[e.lid])
+		vc := &r.in[port*vcs+int(e.f.vc)]
+		vc.q.push(bufEntry{f: e.f, ready: ready})
+		s.stats.RouterFlits[dst]++
+		s.buffered[dst]++
+		s.totalBuf++
+		s.inflight--
+		s.activateRouter(dst)
+	}
+	s.calendar[bi] = bucket[:0]
+}
+
+// injectFromSources writes up to one flit per ready node per cycle into the
+// local injection port, matching the 1 flit/cycle channel rate. Sources are
+// woken from the release heap when their next packet is due and parked
+// again after its tail flit; a node stays live while blocked on buffer
+// space, exactly as the historical full scan retried it each cycle.
+func (s *Sim) injectFromSources() {
+	for len(s.relHeap) > 0 && s.relHeap[0].rel <= s.now {
+		e := s.heapPop()
+		w := int(e.node) >> 6
+		bit := uint64(1) << (uint(e.node) & 63)
+		if s.srcMask[w]&bit == 0 {
+			s.srcMask[w] |= bit
+			s.liveSrc++
+		}
+	}
+	if s.liveSrc == 0 {
+		return
+	}
+	for w := range s.srcMask {
+		word := s.srcMask[w]
+		for word != 0 {
+			node := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			s.injectNode(node)
 		}
 	}
 }
 
-// injectFromSources writes up to one flit per node per cycle into the local
-// injection port, matching the 1 flit/cycle channel rate.
-func (s *Sim) injectFromSources() {
-	for node := range s.sources {
+// parkSource clears a node from the live set.
+func (s *Sim) parkSource(node int) {
+	s.srcMask[node>>6] &^= 1 << (uint(node) & 63)
+	s.liveSrc--
+}
+
+// injectNode attempts to inject one flit of the node's current packet.
+func (s *Sim) injectNode(node int) {
+	pi := s.sources[node][s.srcPos[node]]
+	p := &s.pkts[pi]
+	r := &s.routers[node]
+	vcs := s.cfg.VCs
+	seq := s.srcFlit[node]
+	var vcIdx int8
+	if seq == 0 {
+		// Head flit: claim a free injection VC with space.
+		vcIdx = -1
+		for v := 0; v < vcs; v++ {
+			vc := &r.in[v]
+			if vc.writer == -1 && vc.q.len() < s.cfg.BufDepthFlits {
+				vcIdx = int8(v)
+				break
+			}
+		}
+		if vcIdx < 0 {
+			return // all injection VCs busy or full
+		}
+		r.in[vcIdx].writer = pi
+		s.srcVC[node] = vcIdx
+	} else {
+		vcIdx = s.srcVC[node]
+		if r.in[vcIdx].q.len() >= s.cfg.BufDepthFlits {
+			return // wait for space
+		}
+	}
+	vc := &r.in[vcIdx]
+	f := flit{
+		pkt:  pi,
+		seq:  seq,
+		vc:   vcIdx,
+		head: seq == 0,
+		tail: int(seq) == p.SizeFlits-1,
+	}
+	vc.q.push(bufEntry{f: f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
+	s.stats.FlitsInjected++
+	s.stats.RouterFlits[node]++
+	s.buffered[node]++
+	s.totalBuf++
+	s.activateRouter(int32(node))
+	if f.head {
+		s.stats.PacketsInjected++
+	}
+	if f.tail {
+		vc.writer = -1
+		s.srcVC[node] = -1
+		s.srcFlit[node] = 0
+		s.srcPos[node]++
+		// Park the node until its next packet is due (or for good).
 		pos := s.srcPos[node]
 		if pos >= len(s.sources[node]) {
-			continue
+			s.parkSource(node)
+		} else if rel := s.pkts[s.sources[node][pos]].Release; rel > s.now {
+			s.parkSource(node)
+			s.heapPush(srcRel{rel: rel, node: int32(node)})
 		}
-		pi := s.sources[node][pos]
-		p := &s.pkts[pi]
-		if p.Release > s.now {
-			continue
-		}
-		r := &s.routers[node]
-		seq := s.srcFlit[node]
-		var vcIdx int8
-		if seq == 0 {
-			// Head flit: claim a free injection VC with space.
-			vcIdx = -1
-			for v := 0; v < s.cfg.VCs; v++ {
-				vc := &r.in[0][v]
-				if vc.writer == -1 && vc.q.len() < s.cfg.BufDepthFlits {
-					vcIdx = int8(v)
-					break
-				}
-			}
-			if vcIdx < 0 {
-				continue // all injection VCs busy or full
-			}
-			r.in[0][vcIdx].writer = pi
-			s.srcVC[node] = vcIdx
-		} else {
-			vcIdx = s.srcVC[node]
-			vc := &r.in[0][vcIdx]
-			if vc.q.len() >= s.cfg.BufDepthFlits {
-				continue // wait for space
-			}
-		}
-		vc := &r.in[0][vcIdx]
-		f := flit{
-			pkt:  pi,
-			seq:  seq,
-			vc:   vcIdx,
-			head: seq == 0,
-			tail: int(seq) == p.SizeFlits-1,
-		}
-		vc.q.push(bufEntry{f: f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
-		s.stats.FlitsInjected++
-		s.stats.RouterFlits[node]++
-		s.buffered[node]++
-		s.totalBuf++
-		if f.head {
-			s.stats.PacketsInjected++
-		}
-		if f.tail {
-			vc.writer = -1
-			s.srcVC[node] = -1
-			s.srcFlit[node] = 0
-			s.srcPos[node]++
-		} else {
-			s.srcFlit[node] = seq + 1
-		}
+	} else {
+		s.srcFlit[node] = seq + 1
 	}
 }
 
 // routeAndAllocateVCs performs route computation for unrouted head flits at
-// buffer fronts and allocates free output VCs round-robin per output port.
+// buffer fronts and allocates free output VCs round-robin per output port,
+// visiting only routers with buffered flits.
 func (s *Sim) routeAndAllocateVCs() {
-	for rid := range s.routers {
-		if s.buffered[rid] == 0 {
-			continue
+	for w, word := range s.activeMask {
+		for word != 0 {
+			rid := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			s.routeRouter(rid)
 		}
-		r := &s.routers[rid]
-		// Route computation.
-		for p := range r.in {
-			for v := range r.in[p] {
-				vc := &r.in[p][v]
-				if vc.q.len() == 0 || vc.routed || !vc.q.front().f.head {
-					continue
-				}
-				head := vc.q.front()
-				dst := s.pkts[head.f.pkt].Dst
-				vc.outCls = head.f.cls
-				if topology.NodeID(rid) == dst {
-					vc.outPort = 0
-				} else {
-					lid := s.tab.NextLink(topology.NodeID(rid), dst)
-					vc.outPort = s.outPortOf[lid]
-					// The X→Y dimension transition starts a fresh
-					// ring, so the dateline class resets; the Y
-					// ring then sets it again at its own wrap.
-					if r.inIsX[p] && r.outIsY[vc.outPort] {
-						vc.outCls = 0
-					}
-					if s.net.Links[lid].Dateline && vc.outCls == 0 {
-						vc.outCls = 1
-					}
-				}
-				vc.routed = true
-				vc.outVC = -1
-			}
-		}
-		// VC allocation per output port.
-		for op := range r.out {
-			out := &r.out[op]
-			// Gather requesters in packed (port, vc) order.
-			reqs := s.scratch[:0]
-			for p := range r.in {
-				for v := range r.in[p] {
-					vc := &r.in[p][v]
-					if vc.routed && vc.outVC < 0 && int(vc.outPort) == op && vc.q.len() > 0 {
-						reqs = append(reqs, int32(p*s.cfg.VCs+v))
-					}
-				}
-			}
-			if len(reqs) == 0 {
+	}
+}
+
+// routeRouter is route computation plus VC allocation for one router.
+func (s *Sim) routeRouter(rid int) {
+	r := &s.routers[rid]
+	vcs := s.cfg.VCs
+	// Route computation.
+	for p := 0; p < r.nin; p++ {
+		for v := 0; v < vcs; v++ {
+			vc := &r.in[p*vcs+v]
+			if vc.q.len() == 0 || vc.routed || !vc.q.front().f.head {
 				continue
 			}
-			// Free output VCs in index order; requesters served
-			// round-robin starting at vaPtr. Under dateline classing
-			// a VC may only go to a requester of its class: class 0
-			// owns the lower partition, class 1 the upper.
-			for fv, owner := range out.owner {
-				if owner != -1 || len(reqs) == 0 {
-					continue
+			head := vc.q.front()
+			dst := s.pkts[head.f.pkt].Dst
+			vc.outCls = head.f.cls
+			if topology.NodeID(rid) == dst {
+				vc.outPort = 0
+			} else {
+				lid := s.tab.NextLink(topology.NodeID(rid), dst)
+				vc.outPort = s.outPortOf[lid]
+				// The X→Y dimension transition starts a fresh
+				// ring, so the dateline class resets; the Y
+				// ring then sets it again at its own wrap.
+				if r.inIsX[p] && r.outIsY[vc.outPort] {
+					vc.outCls = 0
 				}
-				n := len(reqs)
-				granted := false
-				for k := 0; k < n && !granted; k++ {
-					pick := (out.vaPtr + k) % n
-					req := reqs[pick]
-					p, v := int(req)/s.cfg.VCs, int(req)%s.cfg.VCs
-					if out.classed && s.vcClass(int8(fv)) != r.in[p][v].outCls {
-						continue
-					}
-					reqs = append(reqs[:pick], reqs[pick+1:]...)
-					out.vaPtr++
-					r.in[p][v].outVC = int8(fv)
-					out.owner[fv] = req
-					granted = true
+				if s.net.Links[lid].Dateline && vc.outCls == 0 {
+					vc.outCls = 1
 				}
 			}
-			s.scratch = reqs[:0]
+			vc.routed = true
+			vc.outVC = -1
 		}
+	}
+	// Gather requesters per output port in one pass, in packed (port, vc)
+	// order — the same order the historical per-port scans produced.
+	// Grants never change another port's requester set (a VC requests
+	// exactly its routed port), so gathering once is equivalent.
+	nreq := 0
+	for i := range r.in {
+		vc := &r.in[i]
+		if vc.routed && vc.outVC < 0 && vc.q.len() > 0 {
+			op := int(vc.outPort)
+			s.reqs[op] = append(s.reqs[op], int32(i))
+			nreq++
+		}
+	}
+	if nreq == 0 {
+		return
+	}
+	// VC allocation per output port: free output VCs in index order;
+	// requesters served round-robin starting at vaPtr. Under dateline
+	// classing a VC may only go to a requester of its class: class 0
+	// owns the lower partition, class 1 the upper.
+	for op := range r.out {
+		reqs := s.reqs[op]
+		if len(reqs) == 0 {
+			continue
+		}
+		out := &r.out[op]
+		for fv, owner := range out.owner {
+			if owner != -1 || len(reqs) == 0 {
+				continue
+			}
+			n := len(reqs)
+			granted := false
+			for k := 0; k < n && !granted; k++ {
+				pick := (out.vaPtr + k) % n
+				req := reqs[pick]
+				if out.classed && s.vcClass(int8(fv)) != r.in[req].outCls {
+					continue
+				}
+				reqs = append(reqs[:pick], reqs[pick+1:]...)
+				out.vaPtr++
+				r.in[req].outVC = int8(fv)
+				out.owner[fv] = req
+				granted = true
+			}
+		}
+		s.reqs[op] = reqs[:0]
 	}
 }
 
 // switchAllocateAndSend is the separable switch allocator plus traversal:
 // one candidate VC per input port (round-robin), one grant per output port
-// (round-robin), then flit movement. Returns packets fully ejected this
-// cycle.
+// (round-robin), then flit movement, visiting only routers with buffered
+// flits. Returns packets fully ejected this cycle.
 func (s *Sim) switchAllocateAndSend() int64 {
 	var ejected int64
-	for rid := range s.routers {
-		if s.buffered[rid] == 0 {
-			continue
-		}
-		r := &s.routers[rid]
-		// Input stage: pick one eligible VC per input port.
-		cand := s.cand[:len(r.in)] // VC index per port, -1 = none
-		for p := range r.in {
-			cand[p] = -1
-			ptr := r.inSAPtr[p]
-			for k := 0; k < s.cfg.VCs; k++ {
-				v := (ptr + k) % s.cfg.VCs
-				vc := &r.in[p][v]
-				if vc.q.len() == 0 || !vc.routed || vc.outVC < 0 {
-					continue
-				}
-				if vc.q.front().ready > s.now {
-					continue
-				}
-				out := &r.out[vc.outPort]
-				if vc.outPort != 0 && out.credits[vc.outVC] <= 0 {
-					continue // no downstream space
-				}
-				cand[p] = v
-				break
-			}
-		}
-		// Output stage: grant one input per output port.
-		for op := range r.out {
-			out := &r.out[op]
-			nports := len(r.in)
-			grant := -1
-			for k := 0; k < nports; k++ {
-				p := (out.saPtr + k) % nports
-				v := cand[p]
-				if v < 0 {
-					continue
-				}
-				if int(r.in[p][v].outPort) != op {
-					continue
-				}
-				grant = p
-				break
-			}
-			if grant < 0 {
-				continue
-			}
-			out.saPtr = grant + 1
-			v := cand[grant]
-			cand[grant] = -1 // input port consumed
-			s.sendFlit(rid, grant, v, op, &ejected)
+	for w := range s.activeMask {
+		// Snapshot the word: sends may drain a router to zero and clear
+		// its own bit, but never activate another router mid-phase.
+		word := s.activeMask[w]
+		for word != 0 {
+			rid := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			s.switchRouter(rid, &ejected)
 		}
 	}
 	return ejected
+}
+
+// switchRouter runs switch allocation and traversal for one router.
+func (s *Sim) switchRouter(rid int, ejected *int64) {
+	r := &s.routers[rid]
+	vcs := s.cfg.VCs
+	// Input stage: pick one eligible VC per input port.
+	cand := s.cand[:r.nin] // VC index per port, -1 = none
+	for p := 0; p < r.nin; p++ {
+		cand[p] = -1
+		ptr := int(r.inSAPtr[p])
+		for k := 0; k < vcs; k++ {
+			v := (ptr + k) % vcs
+			vc := &r.in[p*vcs+v]
+			if vc.q.len() == 0 || !vc.routed || vc.outVC < 0 {
+				continue
+			}
+			if vc.q.front().ready > s.now {
+				continue
+			}
+			out := &r.out[vc.outPort]
+			if vc.outPort != 0 && out.credits[vc.outVC] <= 0 {
+				continue // no downstream space
+			}
+			cand[p] = v
+			break
+		}
+	}
+	// Output stage: grant one input per output port.
+	for op := range r.out {
+		out := &r.out[op]
+		grant := -1
+		for k := 0; k < r.nin; k++ {
+			p := (out.saPtr + k) % r.nin
+			v := cand[p]
+			if v < 0 {
+				continue
+			}
+			if int(r.in[p*vcs+v].outPort) != op {
+				continue
+			}
+			grant = p
+			break
+		}
+		if grant < 0 {
+			continue
+		}
+		out.saPtr = grant + 1
+		v := cand[grant]
+		cand[grant] = -1 // input port consumed
+		s.sendFlit(rid, grant, v, op, ejected)
+	}
 }
 
 // sendFlit pops the head flit of input (port, v) and moves it through output
 // port op: onto the channel, or out of the network for ejection.
 func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 	r := &s.routers[rid]
-	vc := &r.in[port][v]
+	vc := &r.in[port*s.cfg.VCs+v]
 	e := vc.q.pop()
 	out := &r.out[op]
-	r.inSAPtr[port] = v + 1
+	r.inSAPtr[port] = int32(v + 1)
 	s.buffered[rid]--
 	s.totalBuf--
+	if s.buffered[rid] == 0 {
+		s.activeMask[rid>>6] &^= 1 << (uint(rid) & 63)
+	}
 
 	// Return a credit upstream for the freed buffer slot (injection port
 	// slots are source-managed, not credited).
 	if port != 0 {
-		lid := s.net.InLinks(topology.NodeID(rid))[port-1]
-		l := s.net.Links[lid]
+		lid := r.inLink[port]
 		s.credits = append(s.credits, creditEvent{
-			r:    int32(l.Src),
+			r:    s.linkSrc[lid],
 			port: s.outPortOf[lid],
 			vc:   e.f.vc,
 		})
@@ -745,17 +1010,15 @@ func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 			*ejected++
 		}
 	} else {
-		// Channel traversal.
+		// Channel traversal: file the flit in the arrival calendar
+		// under its delivery cycle.
 		lid := out.link
-		l := s.net.Links[lid]
 		f := e.f
 		f.vc = int8(vc.outVC)
 		f.cls = vc.outCls
-		f.head = e.f.head
-		s.pipes[lid].q.push(linkEntry{
-			f:      f,
-			arrive: s.now + 1 + int64(l.LatencyClks),
-		})
+		arrive := s.now + 1 + int64(s.linkLat[lid])
+		bi := int(arrive % int64(len(s.calendar)))
+		s.calendar[bi] = append(s.calendar[bi], arrival{f: f, lid: int32(lid)})
 		out.credits[vc.outVC]--
 		s.stats.LinkFlits[lid]++
 		s.inflight++
@@ -781,6 +1044,53 @@ func (s *Sim) applyCredits() {
 		s.routers[c.r].out[c.port].credits[c.vc]++
 	}
 	s.credits = s.credits[:0]
+}
+
+// heapLess orders the release heap by (release, node): node breaks ties so
+// pop order is fully deterministic.
+func heapLess(a, b srcRel) bool {
+	return a.rel < b.rel || (a.rel == b.rel && a.node < b.node)
+}
+
+// heapPush adds a parked source to the release min-heap.
+func (s *Sim) heapPush(e srcRel) {
+	h := append(s.relHeap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(h[i], h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.relHeap = h
+}
+
+// heapPop removes and returns the earliest parked source.
+func (s *Sim) heapPop() srcRel {
+	h := s.relHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && heapLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && heapLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	s.relHeap = h
+	return top
 }
 
 // vcClass maps a VC index to its dateline class: the lower partition is

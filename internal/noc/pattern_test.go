@@ -70,7 +70,7 @@ func TestPatternLoadLatencyCurves(t *testing.T) {
 	net, tab, _ := workloadNet(t)
 	pats, rates, w, cfg := patternSweepInputs(t)
 	curves, err := PatternLoadLatencyCurves(context.Background(), net, tab,
-		pats, rates, w, cfg, runner.Config{})
+		pats, rates, w, cfg, runner.Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,12 +106,12 @@ func TestPatternCurvesSerialParallelIdentical(t *testing.T) {
 	net, tab, _ := workloadNet(t)
 	pats, rates, w, cfg := patternSweepInputs(t)
 	serial, err := PatternLoadLatencyCurves(context.Background(), net, tab,
-		pats, rates, w, cfg, runner.Config{Workers: 1})
+		pats, rates, w, cfg, runner.Config{Workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	parallel, err := PatternLoadLatencyCurves(context.Background(), net, tab,
-		pats, rates, w, cfg, runner.Config{Workers: 7})
+		pats, rates, w, cfg, runner.Config{Workers: 7}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestPatternCurvesRejectBadInput(t *testing.T) {
 	net, tab, _ := workloadNet(t)
 	pats, _, w, cfg := patternSweepInputs(t)
 	if _, err := PatternLoadLatencyCurves(context.Background(), net, tab,
-		pats, nil, w, cfg, runner.Config{}); err == nil {
+		pats, nil, w, cfg, runner.Config{}, nil); err == nil {
 		t.Error("empty rate grid must fail")
 	}
 	// A pattern whose precondition fails surfaces as a named error.
@@ -137,7 +137,7 @@ func TestPatternCurvesRejectBadInput(t *testing.T) {
 	odd := topology.MustBuild(c)
 	tab3 := routing.MustBuild(odd, routing.MonotoneExpress)
 	if _, err := PatternLoadLatencyCurves(context.Background(), odd, tab3,
-		[]traffic.Pattern{tr}, []float64{0.1}, w, cfg, runner.Config{}); err == nil {
+		[]traffic.Pattern{tr}, []float64{0.1}, w, cfg, runner.Config{}, nil); err == nil {
 		t.Error("bit-reversal on 9 nodes must fail")
 	}
 }

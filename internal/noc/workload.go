@@ -114,34 +114,38 @@ type LoadPoint struct {
 // curve used to locate network saturation. Points that fail to drain within
 // the configured MaxCycles are flagged Saturated rather than failing the
 // sweep. It is a thin wrapper over LoadLatencyCurveContext with a
-// default-sized worker pool; each rate is an independent deterministic
-// simulation, so the curve is bit-identical to the historical serial sweep.
+// default-sized worker pool and a private Sim reuse pool; each rate is an
+// independent deterministic simulation, so the curve is bit-identical to
+// the historical serial sweep.
 func LoadLatencyCurve(net *topology.Network, tab *routing.Table, base *traffic.Matrix,
 	rates []float64, w BernoulliWorkload, cfg Config) ([]LoadPoint, error) {
-	return LoadLatencyCurveContext(context.Background(), net, tab, base, rates, w, cfg, runner.Config{})
+	return LoadLatencyCurveContext(context.Background(), net, tab, base, rates, w, cfg,
+		runner.Config{}, NewSimPool())
 }
 
-// LoadLatencyCurveContext is LoadLatencyCurve on an explicit context and
-// worker-pool configuration: one Sim instance per rate, run concurrently.
+// LoadLatencyCurveContext is LoadLatencyCurve on an explicit context,
+// worker-pool configuration and Sim reuse pool: rates run concurrently,
+// each worker recycling simulators through sims (nil disables reuse).
 // The shared network, table and base matrix are only read.
 func LoadLatencyCurveContext(ctx context.Context, net *topology.Network, tab *routing.Table,
 	base *traffic.Matrix, rates []float64, w BernoulliWorkload, cfg Config,
-	pool runner.Config) ([]LoadPoint, error) {
+	pool runner.Config, sims *SimPool) ([]LoadPoint, error) {
 	return runner.Map(ctx, len(rates), pool, func(_ context.Context, i int) (LoadPoint, error) {
-		return loadPoint(net, tab, base, rates[i], w, cfg)
+		return loadPoint(net, tab, base, rates[i], w, cfg, sims)
 	})
 }
 
 // loadPoint runs one offered-load sample: scale the base matrix to the
-// rate, draw the Bernoulli arrivals, simulate, summarize.
+// rate, draw the Bernoulli arrivals, simulate, summarize. The simulator
+// comes from (and returns to) the reuse pool.
 func loadPoint(net *topology.Network, tab *routing.Table, base *traffic.Matrix,
-	rate float64, w BernoulliWorkload, cfg Config) (LoadPoint, error) {
+	rate float64, w BernoulliWorkload, cfg Config, sims *SimPool) (LoadPoint, error) {
 	tm := base.ScaledToMaxRate(rate)
 	pkts, err := w.Generate(net, tm)
 	if err != nil {
 		return LoadPoint{}, err
 	}
-	sim, err := New(net, tab, cfg)
+	sim, err := sims.Get(net, tab, cfg)
 	if err != nil {
 		return LoadPoint{}, err
 	}
@@ -149,6 +153,7 @@ func loadPoint(net *topology.Network, tab *routing.Table, base *traffic.Matrix,
 		return LoadPoint{}, err
 	}
 	st, err := sim.Run()
+	sims.Put(sim)
 	pt := LoadPoint{InjectionRate: rate}
 	if err != nil {
 		pt.Saturated = true
@@ -209,14 +214,19 @@ type PatternCurve struct {
 // job, so the flattened batch keeps the pool busy even when patterns have
 // uneven curves. Base matrices are generated once per pattern up front
 // and only read afterwards; each job is a pure function of its index, so
-// the result is bit-identical for any worker count. Each curve's
-// saturation point is detected with the latency-knee rule documented at
+// the result is bit-identical for any worker count. Simulators are
+// recycled through sims (nil = a private pool per call), so the whole
+// matrix allocates O(live workers) simulators. Each curve's saturation
+// point is detected with the latency-knee rule documented at
 // SaturationLatencyFactor.
 func PatternLoadLatencyCurves(ctx context.Context, net *topology.Network, tab *routing.Table,
 	patterns []traffic.Pattern, rates []float64, w BernoulliWorkload, cfg Config,
-	pool runner.Config) ([]PatternCurve, error) {
+	pool runner.Config, sims *SimPool) ([]PatternCurve, error) {
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("noc: pattern sweep with no rates")
+	}
+	if sims == nil {
+		sims = NewSimPool()
 	}
 	bases := make([]*traffic.Matrix, len(patterns))
 	for i, p := range patterns {
@@ -232,7 +242,7 @@ func PatternLoadLatencyCurves(ctx context.Context, net *topology.Network, tab *r
 	flat, err := runner.Map(ctx, len(patterns)*len(rates), pool,
 		func(_ context.Context, i int) (LoadPoint, error) {
 			pi, ri := i/len(rates), i%len(rates)
-			return loadPoint(net, tab, bases[pi], rates[ri], w, cfg)
+			return loadPoint(net, tab, bases[pi], rates[ri], w, cfg, sims)
 		})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,51 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command-line tools: every sweep CLI takes -cpuprofile/-memprofile flags
+// so a slow design-space run can be fed straight to `go tool pprof`
+// without a recompile. The simulator kernel was rewritten around exactly
+// such profiles (see the README's Performance section); keeping the hooks
+// in the shipped binaries makes the next optimization round as cheap.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath (either may be empty to skip). The returned stop function must
+// run before the process exits — call it via defer from a run() helper
+// that returns an exit code rather than calling os.Exit directly, so
+// error paths flush profiles too.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

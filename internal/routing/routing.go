@@ -337,42 +337,79 @@ func (t *Table) NextLink(at, dst topology.NodeID) topology.LinkID {
 	return t.next[at][dst]
 }
 
+// Hop is the single guarded step shared by every route walker (Path,
+// HopCount, LatencyClks, and the analytic evaluator): it resolves the link
+// leaving `at` toward `dst`, rejecting a missing route and enforcing the
+// cyclic-table bound. hops is the number of steps already taken; callers
+// increment it after each Hop. A nil return means the walk failed —
+// HopErr reconstructs the diagnostic. The nil sentinel (rather than an
+// error return) keeps Hop inlinable: the walkers loop over it in the
+// design-space sweep's hottest path, allocation-free.
+func (t *Table) Hop(at, dst topology.NodeID, hops int) *topology.Link {
+	lid := t.next[at][dst]
+	if lid == noLink || hops >= len(t.next) {
+		return nil
+	}
+	return &t.net.Links[lid]
+}
+
+// HopErr reports why Hop(at, dst, hops) returned nil.
+func (t *Table) HopErr(at, dst topology.NodeID, hops int) error {
+	if t.next[at][dst] == noLink {
+		return fmt.Errorf("routing: no route -> %d at %d", dst, at)
+	}
+	if hops >= len(t.next) {
+		return fmt.Errorf("routing: path to %d exceeds node count; table is cyclic", dst)
+	}
+	return nil
+}
+
+// mustHop is Hop for the walkers that keep the historical panic behavior.
+func (t *Table) mustHop(src, at, dst topology.NodeID, hops int) *topology.Link {
+	l := t.Hop(at, dst, hops)
+	if l == nil {
+		panic(fmt.Sprintf("%v (walking %d -> %d)", t.HopErr(at, dst, hops), src, dst))
+	}
+	return l
+}
+
 // Path returns the channel sequence from src to dst (empty for src == dst).
 func (t *Table) Path(src, dst topology.NodeID) []topology.LinkID {
 	if src == dst {
 		return nil
 	}
 	var path []topology.LinkID
-	at := src
-	for at != dst {
-		lid := t.next[at][dst]
-		if lid == noLink {
-			panic(fmt.Sprintf("routing: no route %d -> %d at %d", src, dst, at))
-		}
-		path = append(path, lid)
-		at = t.net.Links[lid].Dst
-		if len(path) > t.net.NumNodes() {
-			panic(fmt.Sprintf("routing: path %d -> %d exceeds node count; table is cyclic", src, dst))
-		}
+	for at := src; at != dst; {
+		l := t.mustHop(src, at, dst, len(path))
+		path = append(path, l.ID)
+		at = l.Dst
 	}
 	return path
 }
 
-// HopCount returns the number of channels on the route.
+// HopCount returns the number of channels on the route. Unlike Path it
+// walks the table without materializing the route, so it is allocation-free.
 func (t *Table) HopCount(src, dst topology.NodeID) int {
-	return len(t.Path(src, dst))
+	hops := 0
+	for at := src; at != dst; {
+		at = t.mustHop(src, at, dst, hops).Dst
+		hops++
+	}
+	return hops
 }
 
 // LatencyClks returns the zero-load head latency of the route: one router
 // pipeline traversal plus the channel latency per hop, plus the final
-// router traversal at the destination for ejection.
+// router traversal at the destination for ejection. Like HopCount it is
+// allocation-free.
 func (t *Table) LatencyClks(src, dst topology.NodeID, routerPipelineClks int) int {
-	if src == dst {
-		return routerPipelineClks
+	total := routerPipelineClks
+	hops := 0
+	for at := src; at != dst; {
+		l := t.mustHop(src, at, dst, hops)
+		total += routerPipelineClks + l.LatencyClks
+		at = l.Dst
+		hops++
 	}
-	total := 0
-	for _, lid := range t.Path(src, dst) {
-		total += routerPipelineClks + t.net.Links[lid].LatencyClks
-	}
-	return total + routerPipelineClks
+	return total
 }

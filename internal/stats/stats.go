@@ -85,6 +85,13 @@ func (s *Sample) Grow(n int) {
 	}
 }
 
+// Reset discards all recorded values, keeping the backing array so a
+// reused sample (see noc.Sim.Reset) records without reallocating.
+func (s *Sample) Reset() {
+	s.vals = s.vals[:0]
+	s.sorted = false
+}
+
 // N returns the number of recorded values.
 func (s *Sample) N() int { return len(s.vals) }
 
