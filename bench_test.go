@@ -457,6 +457,44 @@ func BenchmarkExtensionExpress2D(b *testing.B) {
 	b.ReportMetric(lat2, "latency_2D_clks")
 }
 
+// BenchmarkTopologyKinds runs one cycle-accurate sweep point (uniform
+// traffic at 0.05 flits/cycle on an 8×8 grid) per registered topology
+// kind, guarding the registry's build → route → simulate paths and
+// reporting each fabric's zero-load-ish latency side by side.
+func BenchmarkTopologyKinds(b *testing.B) {
+	for _, kind := range topology.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			c := topology.DefaultConfig()
+			c.Kind = kind
+			c.Width, c.Height = 8, 8
+			net, err := topology.Build(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab := routing.MustBuild(net, routing.MonotoneExpress)
+			uniform, err := traffic.Lookup("uniform")
+			if err != nil {
+				b.Fatal(err)
+			}
+			tm, err := uniform.Generate(net, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := noc.BernoulliWorkload{SizeFlits: 1, Cycles: 2000, Seed: 7}
+			var lat float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts, err := noc.LoadLatencyCurve(net, tab, tm, []float64{0.05}, w, noc.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = pts[0].AvgLatencyClks
+			}
+			b.ReportMetric(lat, "latency_r0.05_clks")
+		})
+	}
+}
+
 // BenchmarkExtensionLoadLatency sweeps offered load through the
 // cycle-accurate simulator on an 8×8 express mesh — the classic saturation
 // curve, reported as latency at low/mid load.

@@ -9,6 +9,8 @@
 //	hyppi-explore [-rate 0.1] [-seed 1] [-policy monotone|shortest] [-workers 0]
 //	hyppi-explore -patterns tornado,transpose
 //	hyppi-explore -patterns all
+//	hyppi-explore -topology torus,fbfly
+//	hyppi-explore -topology all -patterns all
 //	hyppi-explore -cpuprofile cpu.out -memprofile mem.out
 //
 // With -patterns, the analytic exploration is followed by a
@@ -16,6 +18,12 @@
 // electronic mesh versus the headline E + HyPPI express@3 hybrid) for
 // the named registry patterns, reporting each pattern's latency-knee
 // saturation throughput.
+//
+// With -topology, the mesh exploration is followed by a cross-topology
+// comparison of the named registry kinds (see internal/topology): an
+// analytic table of plain electronic and HyPPI fabrics per kind, and —
+// when -patterns is also given — the full topology × pattern × load
+// saturation matrix on the worker pool instead of the mesh-only sweep.
 //
 // Design points are evaluated concurrently on a bounded worker pool
 // (-workers 0 sizes it to GOMAXPROCS); results are identical to a serial
@@ -35,6 +43,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/tech"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -50,6 +59,9 @@ func run() int {
 	patterns := flag.String("patterns", "",
 		"comma-separated synthetic patterns to saturation-sweep ("+
 			strings.Join(traffic.Names(), ", ")+"), or \"all\"")
+	topoFlag := flag.String("topology", "",
+		"comma-separated topology kinds to cross-compare ("+
+			strings.Join(topology.Names(), ", ")+"), or \"all\"")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -148,6 +160,25 @@ func run() int {
 			headline/plain)
 	}
 
+	if *topoFlag != "" {
+		kinds, err := topology.ParseKinds(*topoFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+			return 1
+		}
+		if err := runKindComparison(kinds, o, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+			return 1
+		}
+		if *patterns != "" {
+			if err := runTopologyPatternSweep(kinds, *patterns, o, *workers); err != nil {
+				fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
 	if *patterns != "" {
 		if err := runPatternSweep(*patterns, o, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
@@ -155,6 +186,46 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// runKindComparison prints the cross-topology analytic table: every
+// selected kind built plain (no express) in electronic and HyPPI base
+// technologies at the Options' grid, evaluated on the worker pool.
+func runKindComparison(kinds []topology.Kind, o core.Options, workers int) error {
+	points := []core.DesignPoint{
+		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+		{Base: tech.HyPPI, Express: tech.HyPPI, Hops: 0},
+	}
+	results, err := core.ExploreKinds(context.Background(), kinds, points, o,
+		runner.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nCross-topology comparison (%dx%d, plain fabrics)\n",
+		o.Topology.Width, o.Topology.Height)
+	fmt.Print(report.KindComparisonTable(results))
+	return nil
+}
+
+// runTopologyPatternSweep runs the full topology × pattern × load matrix
+// with the cycle-accurate simulator on an 8×8 grid, one plain electronic
+// fabric per kind.
+func runTopologyPatternSweep(kinds []topology.Kind, spec string, o core.Options, workers int) error {
+	pats, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	o.Topology.Width, o.Topology.Height = 8, 8
+	sc := core.DefaultPatternSweep()
+	results, err := core.TopologyPatternSweep(context.Background(), kinds, pats, sc, o,
+		runner.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nTopology × pattern saturation sweep (8×8, cycle-accurate, rates %v)\n", sc.Rates)
+	fmt.Println("latency-knee rule: saturation = lowest rate with avg > 3x zero-load, or no drain")
+	fmt.Print(report.SaturationTable(results))
+	return nil
 }
 
 // runPatternSweep follows the analytic exploration with a cycle-accurate

@@ -9,12 +9,20 @@
 //	hyppi-sim [-kernel FT|CG|MG|LU|all] [-express HyPPI] [-scale 0.0625] [-workers 0]
 //	hyppi-sim -trace file.txt [-express Photonic]
 //	hyppi-sim -pattern tornado [-express HyPPI]
+//	hyppi-sim -pattern all -topology all
+//	hyppi-sim -kernel FT -topology torus
 //	hyppi-sim -cpuprofile cpu.out -memprofile mem.out
 //
 // With -pattern, hyppi-sim runs a synthetic traffic saturation sweep
 // instead of traces: the named registry pattern (or "all") is swept over
 // offered load on an 8×8 grid, mesh versus express hybrids, and the
 // latency-knee saturation throughput is reported per configuration.
+//
+// -topology selects the topology kind (see internal/topology). In
+// pattern mode it takes a comma list or "all" and sweeps the full
+// topology × pattern × load matrix (plain fabrics, one per kind) instead
+// of the express hop ladder; in trace mode it takes a single kind, and
+// non-mesh kinds collapse the hop ladder to the plain fabric.
 //
 // The kernel × hop-length sweep runs as one batch of independent
 // simulations on a bounded worker pool (-workers 0 sizes it to GOMAXPROCS);
@@ -35,6 +43,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/tech"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -53,6 +62,9 @@ func run() int {
 	pattern := flag.String("pattern", "",
 		"synthetic pattern saturation sweep instead of traces: a registry name ("+
 			strings.Join(traffic.Names(), ", ")+") or \"all\"")
+	topoFlag := flag.String("topology", "mesh",
+		"topology kind: "+strings.Join(topology.Names(), ", ")+
+			" (comma list or \"all\" in pattern mode; single kind for traces)")
 	express := flag.String("express", "HyPPI", "express link technology: Electronic, Photonic or HyPPI")
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
 	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
@@ -76,16 +88,39 @@ func run() int {
 	o := core.DefaultOptions()
 	pool := runner.Config{Workers: *workers}
 
+	kinds, err := topology.ParseKinds(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+		return 1
+	}
+
 	if *pattern != "" {
-		if err := runPatternSweep(*pattern, exTech, o, pool); err != nil {
+		if len(kinds) == 1 && kinds[0] == topology.Mesh {
+			err = runPatternSweep(*pattern, exTech, o, pool)
+		} else {
+			err = runTopologySweep(kinds, *pattern, o, pool)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
 			return 1
 		}
 		return 0
 	}
 
+	// Trace modes take a single kind; non-mesh kinds have no express
+	// axis, so the hop ladder collapses to the plain fabric.
+	if len(kinds) != 1 {
+		fmt.Fprintln(os.Stderr, "hyppi-sim: trace mode takes a single -topology kind")
+		return 1
+	}
+	o = o.WithKind(kinds[0])
+	hops := sweepHops
+	if kinds[0] != topology.Mesh {
+		hops = []int{0}
+	}
+
 	if *traceFile != "" {
-		if err := runExternal(*traceFile, exTech, o, pool); err != nil {
+		if err := runExternal(*traceFile, exTech, o, hops, pool); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
 			return 1
 		}
@@ -108,9 +143,9 @@ func run() int {
 		cfg := npb.DefaultConfig(k)
 		cfg.Scale = *scale
 		cfg.Iterations = *iters
-		for _, hops := range sweepHops {
+		for _, h := range hops {
 			jobs = append(jobs, core.TraceJob{Kernel: cfg, Point: core.DesignPoint{
-				Base: tech.Electronic, Express: exTech, Hops: hops}})
+				Base: tech.Electronic, Express: exTech, Hops: h}})
 		}
 	}
 	results, err := core.RunTraceExperiments(context.Background(), jobs, o, noc.DefaultConfig(), pool)
@@ -119,14 +154,23 @@ func run() int {
 		return 1
 	}
 
+	if len(hops) == 1 {
+		fmt.Printf("Fig. 6 analog — average packet latency (clks), topology = %v\n", kinds[0])
+		fmt.Printf("%-8s %-12s %-18s\n", "kernel", "latency", "dynamic energy")
+		for ki, k := range kernels {
+			res := results[ki]
+			fmt.Printf("%-8s %-12.2f %-18s\n", k, res.AvgLatencyClks, core.FormatEnergy(res.DynamicEnergyJ))
+		}
+		return 0
+	}
 	fmt.Printf("Fig. 6 — average packet latency (clks), express = %v\n", exTech)
 	fmt.Printf("%-8s %-12s %-12s %-12s %-12s %-18s\n",
 		"kernel", "mesh", "hops=3", "hops=5", "hops=15", "best speedup")
 	for ki, k := range kernels {
-		lat := make([]float64, len(sweepHops))
-		energy := make([]float64, len(sweepHops))
-		for i := range sweepHops {
-			res := results[ki*len(sweepHops)+i]
+		lat := make([]float64, len(hops))
+		energy := make([]float64, len(hops))
+		for i := range hops {
+			res := results[ki*len(hops)+i]
 			lat[i] = res.AvgLatencyClks
 			energy[i] = res.DynamicEnergyJ
 		}
@@ -138,6 +182,37 @@ func run() int {
 			core.FormatEnergy(energy[2]), core.FormatEnergy(energy[3]))
 	}
 	return 0
+}
+
+// runTopologySweep sweeps the named registry patterns over offered load on
+// every selected topology kind (8×8 grid, plain electronic fabrics) — the
+// full topology × pattern × load matrix on the worker pool.
+func runTopologySweep(kinds []topology.Kind, spec string, o core.Options, pool runner.Config) error {
+	patterns, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	o.Topology.Width, o.Topology.Height = 8, 8
+	sc := core.DefaultPatternSweep()
+	results, err := core.TopologyPatternSweep(context.Background(), kinds, patterns, sc, o, pool)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("8×8 topology × pattern saturation sweep, rates = %v\n", sc.Rates)
+	for _, r := range results {
+		fmt.Printf("\n%v / %s\n", r.Kind, r.Pattern)
+		for _, p := range r.Curve {
+			if p.Saturated {
+				fmt.Printf("  rate %-6.3g saturated (failed to drain)\n", p.InjectionRate)
+				continue
+			}
+			fmt.Printf("  rate %-6.3g avg %-8.1f p99 %.1f\n",
+				p.InjectionRate, p.AvgLatencyClks, p.P99LatencyClks)
+		}
+	}
+	fmt.Println("\nSaturation summary (latency-knee rule: avg > 3x zero-load, or no drain)")
+	fmt.Print(report.SaturationTable(results))
+	return nil
 }
 
 // runPatternSweep sweeps one registry pattern (or all of them) over
@@ -195,10 +270,11 @@ func min3(a, b, c float64) float64 {
 	return m
 }
 
-// runExternal replays a trace file on mesh and hops=3/5/15 hybrids, one
-// concurrent simulation per hop length (the parsed events are only read;
-// networks and tables come from the process-wide cache).
-func runExternal(path string, exTech tech.Technology, o core.Options, pool runner.Config) error {
+// runExternal replays a trace file on the selected topology's hop ladder
+// (mesh and hops=3/5/15 hybrids; plain fabric only for non-mesh kinds),
+// one concurrent simulation per hop length (the parsed events are only
+// read; networks and tables come from the process-wide cache).
+func runExternal(path string, exTech tech.Technology, o core.Options, hops []int, pool runner.Config) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -214,9 +290,9 @@ func runExternal(path string, exTech tech.Technology, o core.Options, pool runne
 		dynamicJ float64
 		staticW  float64
 	}
-	results, err := runner.Map(context.Background(), len(sweepHops), pool,
+	results, err := runner.Map(context.Background(), len(hops), pool,
 		func(_ context.Context, i int) (hopResult, error) {
-			point := core.DesignPoint{Base: tech.Electronic, Express: exTech, Hops: sweepHops[i]}
+			point := core.DesignPoint{Base: tech.Electronic, Express: exTech, Hops: hops[i]}
 			net, tab, err := o.NetworkAndTable(point)
 			if err != nil {
 				return hopResult{}, err
@@ -245,10 +321,10 @@ func runExternal(path string, exTech tech.Technology, o core.Options, pool runne
 	if err != nil {
 		return err
 	}
-	for i, hops := range sweepHops {
+	for i, h := range hops {
 		r := results[i]
 		fmt.Printf("hops=%-3d latency %-10.2f dynamic %-12s static %.3f W\n",
-			hops, r.latency, core.FormatEnergy(r.dynamicJ), r.staticW)
+			h, r.latency, core.FormatEnergy(r.dynamicJ), r.staticW)
 	}
 	return nil
 }

@@ -9,7 +9,7 @@
 //	internal/tech      Table I device catalogue + technology enumeration
 //	internal/link      bare link models and link-level CLEAR (Fig. 3)
 //	internal/dsent     modified-DSENT component cost models (11 nm)
-//	internal/topology  16×16 mesh and express-link topologies (Fig. 2)
+//	internal/topology  topology-kind registry: mesh/express (Fig. 2), torus, cmesh, fbfly
 //	internal/routing   dimension-ordered express routing + BFS tables
 //	internal/traffic   Soteriou statistical traffic + synthetic pattern registry
 //	internal/analytic  Section III-B system CLEAR evaluation (Fig. 5)
@@ -38,6 +38,10 @@
 // named synthetic patterns (uniform, transpose, bitcomp, bitrev, shuffle,
 // tornado, neighbor, hotspot); noc.PatternLoadLatencyCurves and
 // core.PatternSweep measure each pattern's saturation throughput with the
-// latency-knee rule documented at noc.DetectSaturation. See README.md for
-// the registry's formulas and CLI usage.
+// latency-knee rule documented at noc.DetectSaturation. Beyond the
+// paper's fabric, internal/topology carries a registry of named topology
+// kinds (mesh, torus, cmesh, fbfly) sharing one Link/NodeID model;
+// core.ExploreKinds and core.TopologyPatternSweep sweep the kind axis,
+// and a cross-topology conformance suite pins each kind's routing
+// contract. See README.md for both registries' formulas and CLI usage.
 package repro

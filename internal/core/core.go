@@ -147,6 +147,59 @@ func ExploreContext(ctx context.Context, points []DesignPoint, o Options, cfg ru
 	})
 }
 
+// WithKind returns a copy of the Options targeting the given topology
+// kind; the rest of the configuration (grid, traffic, policy) is shared.
+func (o Options) WithKind(k topology.Kind) Options {
+	o.Topology.Kind = k
+	return o
+}
+
+// KindExploration is one row of a cross-topology comparison: a design
+// point evaluated on one topology kind, with the structural figures the
+// kinds differ on.
+type KindExploration struct {
+	Kind  topology.Kind
+	Point DesignPoint
+	analytic.Result
+	// NumNodes, Channels and MaxPorts summarize the built structure
+	// (routers, unidirectional channels, widest router radix).
+	NumNodes, Channels, MaxPorts int
+}
+
+// ExploreKinds runs the analytic evaluation across the kind × design-point
+// matrix on the worker pool — the cross-topology generalization of
+// Explore. Each job resolves its network through the shared cache and is a
+// pure function of its index, so results (kind-major, point-minor order)
+// are bit-identical for any worker count. Non-mesh kinds reject express
+// design points at Build time; pass plain (Hops = 0) points for
+// kind-portable sweeps.
+func ExploreKinds(ctx context.Context, kinds []topology.Kind, points []DesignPoint, o Options, cfg runner.Config) ([]KindExploration, error) {
+	if len(kinds) == 0 || len(points) == 0 {
+		return nil, fmt.Errorf("core: kind exploration needs kinds and points")
+	}
+	params := analytic.Params{DSENT: o.DSENT, RouterPipelineClks: o.RouterPipelineClks}
+	return runner.Map(ctx, len(kinds)*len(points), cfg, func(_ context.Context, i int) (KindExploration, error) {
+		kind, p := kinds[i/len(points)], points[i%len(points)]
+		ko := o.WithKind(kind)
+		net, tab, err := ko.NetworkAndTable(p)
+		if err != nil {
+			return KindExploration{}, fmt.Errorf("core: %v %v: %w", kind, p, err)
+		}
+		tm, err := ko.cache().Soteriou(net, ko.Traffic)
+		if err != nil {
+			return KindExploration{}, fmt.Errorf("core: %v %v: %w", kind, p, err)
+		}
+		res, err := analytic.Evaluate(net, tab, tm, params)
+		if err != nil {
+			return KindExploration{}, fmt.Errorf("core: %v %v: %w", kind, p, err)
+		}
+		return KindExploration{
+			Kind: kind, Point: p, Result: res,
+			NumNodes: net.NumNodes(), Channels: len(net.Links), MaxPorts: net.MaxPorts(),
+		}, nil
+	})
+}
+
 // LinkSweep regenerates the Fig. 3 dataset on the default length grid.
 func LinkSweep() ([]link.SweepPoint, error) {
 	return link.Sweep(link.Fig3Lengths())

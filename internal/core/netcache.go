@@ -65,7 +65,9 @@ func (c *NetworkCache) Get(topo topology.Config, policy routing.Policy) (*topolo
 	if c == nil {
 		return buildNetworkAndTable(topo, policy)
 	}
-	key := netKey{topo: topo, policy: policy}
+	// Canonicalize so "" and "mesh" (and zero vs default cmesh
+	// concentration) share one entry.
+	key := netKey{topo: topo.Canonical(), policy: policy}
 	c.mu.Lock()
 	e, ok := c.m[key]
 	if !ok {
@@ -117,10 +119,12 @@ func (o Options) NetworkAndTable(p DesignPoint) (*topology.Network, *routing.Tab
 }
 
 // tmKey identifies a Soteriou matrix: the statistical model reads only the
-// node grid geometry (NumNodes, Width, Height and Manhattan MeshDistance),
-// never the link technologies, so every design point of a W×H sweep shares
-// one matrix. The matrix is immutable after construction.
+// node grid geometry (NumNodes, Width, Height and the kind's base-fabric
+// Distance), never the link technologies, so every design point of a W×H
+// sweep on one topology kind shares one matrix. The matrix is immutable
+// after construction.
 type tmKey struct {
+	kind topology.Kind
 	w, h int
 	cfg  traffic.SoteriouConfig
 }
@@ -138,7 +142,7 @@ func (c *NetworkCache) Soteriou(net *topology.Network, cfg traffic.SoteriouConfi
 	if c == nil {
 		return traffic.Soteriou(net, cfg)
 	}
-	key := tmKey{w: net.Width, h: net.Height, cfg: cfg}
+	key := tmKey{kind: net.Config.Canonical().Kind, w: net.Width, h: net.Height, cfg: cfg}
 	c.mu.Lock()
 	e, ok := c.tm[key]
 	if !ok {

@@ -52,10 +52,13 @@ func (c PatternSweepConfig) Validate() error {
 	return nil
 }
 
-// PatternSweepResult is one (design point, pattern) cell of a sweep:
-// the full load-latency curve plus the detected saturation throughput,
-// the ExplorationResult-style row of the saturation dataset.
+// PatternSweepResult is one (topology kind, design point, pattern) cell of
+// a sweep: the full load-latency curve plus the detected saturation
+// throughput, the ExplorationResult-style row of the saturation dataset.
 type PatternSweepResult struct {
+	// Kind is the topology family the cell ran on (canonical; "mesh"
+	// for sweeps predating the registry).
+	Kind    topology.Kind
 	Point   DesignPoint
 	Pattern string
 	// Curve holds one point per swept rate, in rate order.
@@ -66,6 +69,21 @@ type PatternSweepResult struct {
 	SaturationRate float64
 	// Saturates reports whether the knee lies inside the swept range.
 	Saturates bool
+}
+
+// PointLabel renders the design point for tables. DesignPoint.String
+// names the mesh; when the row's Kind already names the fabric, the
+// label reduces to the technology axis.
+func (r PatternSweepResult) PointLabel() string {
+	if r.Kind == "" || r.Kind == topology.Mesh {
+		return r.Point.String()
+	}
+	if r.Point.Hops == 0 {
+		return r.Point.Base.String()
+	}
+	// cmesh can carry express links; keep the axis without the "mesh"
+	// word DesignPoint.String would add.
+	return fmt.Sprintf("%v + %v express@%d", r.Point.Base, r.Point.Express, r.Point.Hops)
 }
 
 // ZeroLoadLatencyClks returns the curve's first (lowest-rate) average
@@ -120,7 +138,59 @@ func PatternSweep(ctx context.Context, points []DesignPoint, patterns []traffic.
 		}
 		c := curves[0]
 		return PatternSweepResult{
+			Kind:           o.Topology.Canonical().Kind,
 			Point:          point,
+			Pattern:        c.Pattern,
+			Curve:          c.Points,
+			SaturationRate: c.SaturationRate,
+			Saturates:      c.Saturates,
+		}, nil
+	})
+}
+
+// TopologyPatternSweep runs the full topology × pattern saturation matrix
+// on the worker pool: every registered (or selected) kind is built at the
+// Options' grid with the plain base technology — the kind-portable design
+// point every family supports — and swept over the pattern's rate ladder
+// with the cycle-accurate simulator, exactly like PatternSweep. Results
+// come back kind-major, pattern-minor and are bit-identical for any worker
+// count; the first failure cancels the batch. Express hybrids stay a
+// mesh-family axis: sweep them per kind through PatternSweep.
+func TopologyPatternSweep(ctx context.Context, kinds []topology.Kind, patterns []traffic.Pattern,
+	sc PatternSweepConfig, o Options, pool runner.Config) ([]PatternSweepResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("core: topology sweep with no kinds")
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: topology sweep with no patterns")
+	}
+	plain := DesignPoint{Base: o.Topology.BaseTech, Express: o.Topology.BaseTech, Hops: 0}
+	nets := make([]*topology.Network, len(kinds))
+	tabs := make([]*routing.Table, len(kinds))
+	for i, kind := range kinds {
+		net, tab, err := o.WithKind(kind).NetworkAndTable(plain)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", kind, err)
+		}
+		nets[i], tabs[i] = net, tab
+	}
+	sims := noc.NewSimPool()
+	n := len(kinds) * len(patterns)
+	return runner.Map(ctx, n, pool, func(ctx context.Context, i int) (PatternSweepResult, error) {
+		ki, pat := i/len(patterns), patterns[i%len(patterns)]
+		kind, net, tab := kinds[ki], nets[ki], tabs[ki]
+		curves, err := noc.PatternLoadLatencyCurves(ctx, net, tab,
+			[]traffic.Pattern{pat}, sc.Rates, sc.Workload, sc.NoC, runner.Config{Workers: 1}, sims)
+		if err != nil {
+			return PatternSweepResult{}, fmt.Errorf("core: %v / %s: %w", kind, pat.Name(), err)
+		}
+		c := curves[0]
+		return PatternSweepResult{
+			Kind:           net.Config.Kind, // canonical (Build resolved it)
+			Point:          plain,
 			Pattern:        c.Pattern,
 			Curve:          c.Points,
 			SaturationRate: c.SaturationRate,

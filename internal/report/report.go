@@ -15,6 +15,7 @@ import (
 	"repro/internal/optical"
 	"repro/internal/stats"
 	"repro/internal/tech"
+	"repro/internal/topology"
 	"repro/internal/units"
 )
 
@@ -103,13 +104,13 @@ func WriteTraceResults(w io.Writer, results []core.TraceResult) error {
 }
 
 // WritePatternSweep emits the synthetic-pattern saturation dataset: one
-// row per (design point, pattern, offered rate), plus the per-curve
+// row per (topology kind, design point, pattern, offered rate), plus the per-curve
 // latency-knee saturation throughput so downstream plots can draw both
 // the curves and the knee markers.
 func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"base", "express", "hops", "pattern",
+		"topology", "base", "express", "hops", "pattern",
 		"injection_rate", "avg_latency_clks", "p99_latency_clks", "point_saturated",
 		"saturation_rate", "saturates",
 	}); err != nil {
@@ -118,7 +119,7 @@ func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
 	for _, r := range results {
 		for _, p := range r.Curve {
 			if err := cw.Write([]string{
-				r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
+				sweepKind(r), r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
 				r.Pattern,
 				f(p.InjectionRate), f(p.AvgLatencyClks), f(p.P99LatencyClks),
 				strconv.FormatBool(p.Saturated),
@@ -132,19 +133,46 @@ func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
 	return cw.Error()
 }
 
+// sweepKind names a sweep row's topology kind, defaulting legacy rows
+// (fabricated results with a zero Kind) to mesh.
+func sweepKind(r core.PatternSweepResult) string {
+	if r.Kind == "" {
+		return string(topology.Mesh)
+	}
+	return string(r.Kind)
+}
+
 // SaturationTable renders the per-pattern saturation summary as an
-// aligned text table: one row per (design point, pattern) with the
-// zero-load latency and the latency-knee saturation throughput ("-" when
-// the design never saturates within the swept range).
+// aligned text table: one row per (topology kind, design point, pattern)
+// with the zero-load latency and the latency-knee saturation throughput
+// ("-" when the design never saturates within the swept range).
 func SaturationTable(results []core.PatternSweepResult) string {
-	tbl := stats.NewTable("design point", "pattern", "zero-load (clk)", "saturation (flits/clk)")
+	tbl := stats.NewTable("topology", "design point", "pattern", "zero-load (clk)", "saturation (flits/clk)")
 	for _, r := range results {
 		sat := "-"
 		if r.Saturates {
 			sat = strconv.FormatFloat(r.SaturationRate, 'g', 4, 64)
 		}
-		tbl.AddRow(r.Point.String(), r.Pattern,
+		tbl.AddRow(sweepKind(r), r.PointLabel(), r.Pattern,
 			strconv.FormatFloat(r.ZeroLoadLatencyClks(), 'f', 1, 64), sat)
+	}
+	return tbl.String()
+}
+
+// KindComparisonTable renders the cross-topology analytic comparison as
+// an aligned text table: one row per (kind, design point) with the
+// structural figures the kinds differ on and the CLEAR ingredients.
+func KindComparisonTable(results []core.KindExploration) string {
+	tbl := stats.NewTable("kind", "base", "chans", "maxports",
+		"C (Gb/s)", "lat(clk)", "power(W)", "R", "CLEAR")
+	for _, r := range results {
+		tbl.AddRow(string(r.Kind), r.Point.Base.String(),
+			strconv.Itoa(r.Channels), strconv.Itoa(r.MaxPorts),
+			strconv.FormatFloat(r.CapabilityGbpsPerNode, 'f', 2, 64),
+			strconv.FormatFloat(r.AvgLatencyClks, 'f', 1, 64),
+			strconv.FormatFloat(r.PowerW, 'f', 3, 64),
+			strconv.FormatFloat(r.R, 'f', 3, 64),
+			strconv.FormatFloat(r.CLEAR, 'f', 4, 64))
 	}
 	return tbl.String()
 }

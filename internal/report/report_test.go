@@ -9,6 +9,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/npb"
 	"repro/internal/tech"
+	"repro/internal/topology"
 )
 
 func TestWriteLinkSweep(t *testing.T) {
@@ -123,7 +124,7 @@ func patternSweepResults() []core.PatternSweepResult {
 	}
 	return []core.PatternSweepResult{
 		{Point: mesh, Pattern: "tornado", Curve: curve, SaturationRate: 0.2, Saturates: true},
-		{Point: hybrid, Pattern: "tornado", Curve: curve[:1]},
+		{Kind: topology.Torus, Point: hybrid, Pattern: "tornado", Curve: curve[:1]},
 	}
 }
 
@@ -140,11 +141,15 @@ func TestWritePatternSweep(t *testing.T) {
 	if rows != 3 { // 2 curve points + 1
 		t.Errorf("CSV rows %d, want 3", rows)
 	}
-	if !strings.HasPrefix(buf.String(), "base,express,hops,pattern,injection_rate,") {
+	if !strings.HasPrefix(buf.String(), "topology,base,express,hops,pattern,injection_rate,") {
 		t.Errorf("header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
 	}
 	if !strings.Contains(buf.String(), "tornado") {
 		t.Error("pattern name missing from rows")
+	}
+	// A zero Kind names the mesh default; explicit kinds pass through.
+	if !strings.Contains(buf.String(), "\nmesh,") || !strings.Contains(buf.String(), "\ntorus,") {
+		t.Errorf("kind column missing:\n%s", buf.String())
 	}
 }
 
@@ -152,6 +157,9 @@ func TestSaturationTable(t *testing.T) {
 	out := SaturationTable(patternSweepResults())
 	if !strings.Contains(out, "tornado") || !strings.Contains(out, "0.2") {
 		t.Errorf("table missing sweep data:\n%s", out)
+	}
+	if !strings.Contains(out, "mesh") || !strings.Contains(out, "torus") {
+		t.Errorf("table missing topology kinds:\n%s", out)
 	}
 	// The never-saturating row renders a dash, not a zero.
 	lines := strings.Split(strings.TrimSpace(out), "\n")

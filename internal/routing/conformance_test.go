@@ -1,0 +1,311 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// Cross-topology conformance suite: one table-driven harness asserting,
+// for every registered topology kind under every routing policy, the
+// contract the rest of the stack (analytic evaluator, cycle-accurate
+// simulator) relies on:
+//
+//   - full reachability: every (src, dst) pair routes to its destination;
+//   - termination: every walk finishes within NumNodes hops and never
+//     revisits a node;
+//   - minimality on plain fabrics: the routed hop count equals the kind's
+//     Distance formula (monotone routing is per-dimension minimal on
+//     lines and rings; fbfly falls back to the shortest-path table), which
+//     cross-validates Distance against a BFS of the wired graph;
+//   - hop-count symmetry where the kind guarantees it (every plain kind:
+//     the fabrics are vertex-transitive in each dimension and the tables
+//     deterministic; express hybrids carry no such guarantee).
+//
+// Exact golden hop-count matrices for the 4×4 torus/cmesh/fbfly are pinned
+// separately in TestConformanceGoldenHopMatrices.
+
+// conformanceCase is one (kind, config) cell of the suite.
+type conformanceCase struct {
+	name string
+	cfg  topology.Config
+	// plain marks express-free base fabrics: hop counts must equal the
+	// kind's Distance and be symmetric.
+	plain bool
+}
+
+// conformanceCases builds the suite: every registered kind at a small and
+// an asymmetric grid, plus mesh-family express hybrids.
+func conformanceCases(t *testing.T) []conformanceCase {
+	t.Helper()
+	base := func(kind topology.Kind, w, h int) topology.Config {
+		c := topology.DefaultConfig()
+		c.Kind = kind
+		c.Width, c.Height = w, h
+		return c
+	}
+	var cases []conformanceCase
+	for _, kind := range topology.Kinds() {
+		small, wide := base(kind, 4, 4), base(kind, 5, 3)
+		if kind == topology.FBFly {
+			wide = base(kind, 5, 2) // exercise an extent the torus floor forbids
+		}
+		cases = append(cases,
+			conformanceCase{fmt.Sprintf("%s-4x4", kind), small, true},
+			conformanceCase{fmt.Sprintf("%s-wide", kind), wide, true},
+		)
+	}
+	// Mesh-family express hybrids: minimality and symmetry are not
+	// guaranteed (the monotone policy trades hops for deadlock freedom),
+	// but reachability and termination still are.
+	express := base(topology.Mesh, 8, 8)
+	express.ExpressTech = tech.HyPPI
+	express.ExpressHops = 3
+	cases = append(cases, conformanceCase{"mesh-express3", express, false})
+	ring := base(topology.Mesh, 8, 8)
+	ring.ExpressTech = tech.HyPPI
+	ring.ExpressHops = 7 // row-closure datelines, "effectively a 2D torus"
+	cases = append(cases, conformanceCase{"mesh-express7-dateline", ring, false})
+	cexp := base(topology.CMesh, 8, 4)
+	cexp.Concentration = 4
+	cexp.ExpressTech = tech.HyPPI
+	cexp.ExpressHops = 3
+	cases = append(cases, conformanceCase{"cmesh-express3", cexp, false})
+	return cases
+}
+
+func TestConformanceAllKinds(t *testing.T) {
+	if got := len(topology.Kinds()); got < 4 {
+		t.Fatalf("registry has %d kinds, want >= 4", got)
+	}
+	for _, tc := range conformanceCases(t) {
+		for _, pol := range []Policy{MonotoneExpress, ShortestHops} {
+			t.Run(fmt.Sprintf("%s/%v", tc.name, pol), func(t *testing.T) {
+				net, err := topology.Build(tc.cfg)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				tab, err := Build(net, pol)
+				if err != nil {
+					t.Fatalf("routing.Build: %v", err)
+				}
+				nn := net.NumNodes()
+				hops := make([][]int, nn)
+				visited := make([]int, nn)
+				for s := 0; s < nn; s++ {
+					hops[s] = make([]int, nn)
+					src := topology.NodeID(s)
+					for d := 0; d < nn; d++ {
+						dst := topology.NodeID(d)
+						// Walk the table by hand so a broken table fails
+						// the test instead of panicking it.
+						steps := 0
+						visited[s] = s*nn + d + 1 // epoch marker
+						for at := src; at != dst; {
+							lid := tab.NextLink(at, dst)
+							if lid < 0 {
+								t.Fatalf("%d->%d: no route at %d", s, d, at)
+							}
+							next := net.Links[lid].Dst
+							if visited[next] == s*nn+d+1 {
+								t.Fatalf("%d->%d: revisits node %d", s, d, next)
+							}
+							visited[next] = s*nn + d + 1
+							at = next
+							if steps++; steps > nn {
+								t.Fatalf("%d->%d: exceeds %d hops", s, d, nn)
+							}
+						}
+						hops[s][d] = steps
+						// Distance is the base-fabric reference: exact on
+						// plain fabrics, where express shortcuts cannot
+						// undercut it.
+						if want := net.Distance(src, dst); tc.plain && steps != want {
+							t.Fatalf("%d->%d: %d hops, Distance says %d", s, d, steps, want)
+						}
+					}
+				}
+				if tc.plain {
+					for s := 0; s < nn; s++ {
+						for d := s + 1; d < nn; d++ {
+							if hops[s][d] != hops[d][s] {
+								t.Fatalf("asymmetric hop count %d->%d: %d vs %d",
+									s, d, hops[s][d], hops[d][s])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// goldenHops4x4 pins the exact all-pairs hop-count matrices of the 4×4
+// non-mesh kinds, row-major by (source, destination). Independently
+// derived from each kind's distance formula:
+//
+//	torus  min(|Δx|,4−|Δx|) + min(|Δy|,4−|Δy|)
+//	cmesh  |Δx| + |Δy| (router grid; concentration widens ports only)
+//	fbfly  (x differs) + (y differs)
+var goldenHops4x4 = map[topology.Kind][16][16]int{
+	topology.Torus: {
+		{0, 1, 2, 1, 1, 2, 3, 2, 2, 3, 4, 3, 1, 2, 3, 2},
+		{1, 0, 1, 2, 2, 1, 2, 3, 3, 2, 3, 4, 2, 1, 2, 3},
+		{2, 1, 0, 1, 3, 2, 1, 2, 4, 3, 2, 3, 3, 2, 1, 2},
+		{1, 2, 1, 0, 2, 3, 2, 1, 3, 4, 3, 2, 2, 3, 2, 1},
+		{1, 2, 3, 2, 0, 1, 2, 1, 1, 2, 3, 2, 2, 3, 4, 3},
+		{2, 1, 2, 3, 1, 0, 1, 2, 2, 1, 2, 3, 3, 2, 3, 4},
+		{3, 2, 1, 2, 2, 1, 0, 1, 3, 2, 1, 2, 4, 3, 2, 3},
+		{2, 3, 2, 1, 1, 2, 1, 0, 2, 3, 2, 1, 3, 4, 3, 2},
+		{2, 3, 4, 3, 1, 2, 3, 2, 0, 1, 2, 1, 1, 2, 3, 2},
+		{3, 2, 3, 4, 2, 1, 2, 3, 1, 0, 1, 2, 2, 1, 2, 3},
+		{4, 3, 2, 3, 3, 2, 1, 2, 2, 1, 0, 1, 3, 2, 1, 2},
+		{3, 4, 3, 2, 2, 3, 2, 1, 1, 2, 1, 0, 2, 3, 2, 1},
+		{1, 2, 3, 2, 2, 3, 4, 3, 1, 2, 3, 2, 0, 1, 2, 1},
+		{2, 1, 2, 3, 3, 2, 3, 4, 2, 1, 2, 3, 1, 0, 1, 2},
+		{3, 2, 1, 2, 4, 3, 2, 3, 3, 2, 1, 2, 2, 1, 0, 1},
+		{2, 3, 2, 1, 3, 4, 3, 2, 2, 3, 2, 1, 1, 2, 1, 0},
+	},
+	topology.CMesh: {
+		{0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6},
+		{1, 0, 1, 2, 2, 1, 2, 3, 3, 2, 3, 4, 4, 3, 4, 5},
+		{2, 1, 0, 1, 3, 2, 1, 2, 4, 3, 2, 3, 5, 4, 3, 4},
+		{3, 2, 1, 0, 4, 3, 2, 1, 5, 4, 3, 2, 6, 5, 4, 3},
+		{1, 2, 3, 4, 0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5},
+		{2, 1, 2, 3, 1, 0, 1, 2, 2, 1, 2, 3, 3, 2, 3, 4},
+		{3, 2, 1, 2, 2, 1, 0, 1, 3, 2, 1, 2, 4, 3, 2, 3},
+		{4, 3, 2, 1, 3, 2, 1, 0, 4, 3, 2, 1, 5, 4, 3, 2},
+		{2, 3, 4, 5, 1, 2, 3, 4, 0, 1, 2, 3, 1, 2, 3, 4},
+		{3, 2, 3, 4, 2, 1, 2, 3, 1, 0, 1, 2, 2, 1, 2, 3},
+		{4, 3, 2, 3, 3, 2, 1, 2, 2, 1, 0, 1, 3, 2, 1, 2},
+		{5, 4, 3, 2, 4, 3, 2, 1, 3, 2, 1, 0, 4, 3, 2, 1},
+		{3, 4, 5, 6, 2, 3, 4, 5, 1, 2, 3, 4, 0, 1, 2, 3},
+		{4, 3, 4, 5, 3, 2, 3, 4, 2, 1, 2, 3, 1, 0, 1, 2},
+		{5, 4, 3, 4, 4, 3, 2, 3, 3, 2, 1, 2, 2, 1, 0, 1},
+		{6, 5, 4, 3, 5, 4, 3, 2, 4, 3, 2, 1, 3, 2, 1, 0},
+	},
+	topology.FBFly: {
+		{0, 1, 1, 1, 1, 2, 2, 2, 1, 2, 2, 2, 1, 2, 2, 2},
+		{1, 0, 1, 1, 2, 1, 2, 2, 2, 1, 2, 2, 2, 1, 2, 2},
+		{1, 1, 0, 1, 2, 2, 1, 2, 2, 2, 1, 2, 2, 2, 1, 2},
+		{1, 1, 1, 0, 2, 2, 2, 1, 2, 2, 2, 1, 2, 2, 2, 1},
+		{1, 2, 2, 2, 0, 1, 1, 1, 1, 2, 2, 2, 1, 2, 2, 2},
+		{2, 1, 2, 2, 1, 0, 1, 1, 2, 1, 2, 2, 2, 1, 2, 2},
+		{2, 2, 1, 2, 1, 1, 0, 1, 2, 2, 1, 2, 2, 2, 1, 2},
+		{2, 2, 2, 1, 1, 1, 1, 0, 2, 2, 2, 1, 2, 2, 2, 1},
+		{1, 2, 2, 2, 1, 2, 2, 2, 0, 1, 1, 1, 1, 2, 2, 2},
+		{2, 1, 2, 2, 2, 1, 2, 2, 1, 0, 1, 1, 2, 1, 2, 2},
+		{2, 2, 1, 2, 2, 2, 1, 2, 1, 1, 0, 1, 2, 2, 1, 2},
+		{2, 2, 2, 1, 2, 2, 2, 1, 1, 1, 1, 0, 2, 2, 2, 1},
+		{1, 2, 2, 2, 1, 2, 2, 2, 1, 2, 2, 2, 0, 1, 1, 1},
+		{2, 1, 2, 2, 2, 1, 2, 2, 2, 1, 2, 2, 1, 0, 1, 1},
+		{2, 2, 1, 2, 2, 2, 1, 2, 2, 2, 1, 2, 1, 1, 0, 1},
+		{2, 2, 2, 1, 2, 2, 2, 1, 2, 2, 2, 1, 1, 1, 1, 0},
+	},
+}
+
+// TestConformanceGoldenHopMatrices pins the 4×4 all-pairs hop counts of
+// every non-mesh kind under both policies (plain fabrics route minimally
+// under either, so the matrices coincide).
+func TestConformanceGoldenHopMatrices(t *testing.T) {
+	for kind, want := range goldenHops4x4 {
+		c := topology.DefaultConfig()
+		c.Kind = kind
+		c.Width, c.Height = 4, 4
+		net, err := topology.Build(c)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for _, pol := range []Policy{MonotoneExpress, ShortestHops} {
+			tab := MustBuild(net, pol)
+			for s := 0; s < 16; s++ {
+				for d := 0; d < 16; d++ {
+					if got := tab.HopCount(topology.NodeID(s), topology.NodeID(d)); got != want[s][d] {
+						t.Errorf("%v/%v %d->%d: %d hops, golden %d", kind, pol, s, d, got, want[s][d])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceDegenerateGeometries is the regression suite for the
+// Validate hardening: degenerate extents with express hops (or wraps) must
+// be rejected by Validate — not handed to buildMonotone, which panics on
+// tables it cannot close — while legitimately degenerate grids still route.
+func TestConformanceDegenerateGeometries(t *testing.T) {
+	reject := []topology.Config{
+		{Kind: topology.Torus, Width: 4, Height: 1, CoreSpacingM: 1e-3, CapacityBps: 50e9},
+		{Kind: topology.Torus, Width: 1, Height: 4, CoreSpacingM: 1e-3, CapacityBps: 50e9},
+		{Kind: topology.Torus, Width: 4, Height: 2, CoreSpacingM: 1e-3, CapacityBps: 50e9},
+		{Kind: topology.Torus, Width: 4, Height: 4, CoreSpacingM: 1e-3, CapacityBps: 50e9, ExpressHops: 2},
+		{Kind: topology.FBFly, Width: 1, Height: 4, CoreSpacingM: 1e-3, CapacityBps: 50e9},
+		{Kind: topology.FBFly, Width: 4, Height: 4, CoreSpacingM: 1e-3, CapacityBps: 50e9, ExpressHops: 2},
+		{Kind: topology.CMesh, Width: 1, Height: 4, Concentration: 4, CoreSpacingM: 1e-3, CapacityBps: 50e9},
+		{Kind: topology.CMesh, Width: 4, Height: 4, Concentration: -1, CoreSpacingM: 1e-3, CapacityBps: 50e9},
+		// Express hops on a width-1 (or express-dim extent-1) grid can
+		// never be below the extent; Validate must say so rather than let
+		// the monotone builder walk a dimension with no feasible roles.
+		{Kind: topology.Mesh, Width: 1, Height: 8, CoreSpacingM: 1e-3, CapacityBps: 50e9, ExpressHops: 1},
+		{Kind: topology.Mesh, Width: 8, Height: 1, CoreSpacingM: 1e-3, CapacityBps: 50e9,
+			ExpressHops: 1, ExpressBothDims: true},
+		// Concentration is a cmesh-only knob.
+		{Kind: topology.Mesh, Width: 4, Height: 4, Concentration: 4, CoreSpacingM: 1e-3, CapacityBps: 50e9},
+	}
+	for i, c := range reject {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail Validate: %+v", i, c)
+		}
+		if _, err := topology.Build(c); err == nil {
+			t.Errorf("config %d should fail Build: %+v", i, c)
+		}
+	}
+
+	// A single-row mesh with express hops (datelines included) is legal
+	// and must route every pair under both policies without panicking.
+	for _, hops := range []int{0, 3, 7} {
+		c := topology.DefaultConfig()
+		c.Width, c.Height = 8, 1
+		c.ExpressHops = hops
+		c.ExpressTech = tech.HyPPI
+		net, err := topology.Build(c)
+		if err != nil {
+			t.Fatalf("8x1 hops=%d: %v", hops, err)
+		}
+		for _, pol := range []Policy{MonotoneExpress, ShortestHops} {
+			tab := MustBuild(net, pol)
+			for s := 0; s < 8; s++ {
+				for d := 0; d < 8; d++ {
+					if got := tab.HopCount(topology.NodeID(s), topology.NodeID(d)); got > 8 {
+						t.Fatalf("8x1 hops=%d %v %d->%d: %d hops", hops, pol, s, d, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceFallbackPolicy pins the monotone→shortest fallback: on
+// kinds without dimension-ordered phases both policies produce identical
+// tables.
+func TestConformanceFallbackPolicy(t *testing.T) {
+	c := topology.DefaultConfig()
+	c.Kind = topology.FBFly
+	c.Width, c.Height = 4, 4
+	net := topology.MustBuild(c)
+	if net.KindSpec().Monotone {
+		t.Fatal("fbfly must not claim monotone routing")
+	}
+	mono := MustBuild(net, MonotoneExpress)
+	short := MustBuild(net, ShortestHops)
+	for s := 0; s < net.NumNodes(); s++ {
+		for d := 0; d < net.NumNodes(); d++ {
+			a, b := mono.NextLink(topology.NodeID(s), topology.NodeID(d)), short.NextLink(topology.NodeID(s), topology.NodeID(d))
+			if a != b {
+				t.Fatalf("fallback diverges at %d->%d: %v vs %v", s, d, a, b)
+			}
+		}
+	}
+}

@@ -7,27 +7,49 @@ import (
 	"repro/internal/topology"
 )
 
-// FuzzRouteNext fuzzes grid shape, express hop length, endpoints and policy,
-// walking the routed path hop by hop and asserting the table invariants:
+// FuzzRouteNext fuzzes the topology kind, grid shape, express hop length,
+// endpoints and policy, walking the routed path hop by hop and asserting
+// the table invariants:
 //
 //   - every pair routes to its destination without revisiting a node;
 //   - the walk never exceeds the dimension budget Width+Height (the same
 //     bound the BFS table construction guarantees for its longest path);
-//   - under ShortestHops, every hop strictly decreases an independently
-//     computed BFS distance, so the path length equals the BFS distance.
+//   - when the table is shortest-path (the ShortestHops policy, or any
+//     policy on a kind that falls back to it), every hop strictly
+//     decreases an independently computed BFS distance, so the path
+//     length equals the BFS distance;
+//   - on plain (express-free) fabrics the walked length never beats the
+//     kind's Distance formula.
 func FuzzRouteNext(f *testing.F) {
-	f.Add(uint8(4), uint8(4), uint8(0), uint8(3), uint8(14), false)
-	f.Add(uint8(8), uint8(8), uint8(3), uint8(0), uint8(63), true)
-	f.Add(uint8(16), uint8(4), uint8(15), uint8(1), uint8(40), false)
-	f.Add(uint8(16), uint8(16), uint8(15), uint8(255), uint8(0), true)
-	f.Add(uint8(5), uint8(3), uint8(2), uint8(7), uint8(7), true)
-	f.Add(uint8(2), uint8(1), uint8(1), uint8(0), uint8(1), false)
-	f.Fuzz(func(t *testing.T, w, h, hops, srcRaw, dstRaw uint8, shortest bool) {
+	f.Add(uint8(0), uint8(4), uint8(4), uint8(0), uint8(3), uint8(14), false)
+	f.Add(uint8(0), uint8(8), uint8(8), uint8(3), uint8(0), uint8(63), true)
+	f.Add(uint8(0), uint8(16), uint8(4), uint8(15), uint8(1), uint8(40), false)
+	f.Add(uint8(0), uint8(16), uint8(16), uint8(15), uint8(255), uint8(0), true)
+	f.Add(uint8(0), uint8(5), uint8(3), uint8(2), uint8(7), uint8(7), true)
+	f.Add(uint8(0), uint8(2), uint8(1), uint8(1), uint8(0), uint8(1), false)
+	f.Add(uint8(1), uint8(4), uint8(4), uint8(0), uint8(3), uint8(12), false)
+	f.Add(uint8(1), uint8(5), uint8(3), uint8(0), uint8(14), uint8(0), true)
+	f.Add(uint8(2), uint8(4), uint8(4), uint8(2), uint8(9), uint8(6), false)
+	f.Add(uint8(3), uint8(4), uint8(4), uint8(0), uint8(0), uint8(15), false)
+	f.Add(uint8(3), uint8(7), uint8(2), uint8(0), uint8(13), uint8(1), true)
+	f.Fuzz(func(t *testing.T, kindRaw, w, h, hops, srcRaw, dstRaw uint8, shortest bool) {
+		kinds := topology.Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
 		c := topology.DefaultConfig()
+		c.Kind = kind
 		c.Width = 2 + int(w%15)  // 2..16
 		c.Height = 1 + int(h%16) // 1..16
-		c.ExpressHops = int(hops) % c.Width
-		c.ExpressTech = tech.HyPPI
+		switch kind {
+		case topology.Mesh, topology.CMesh:
+			c.ExpressHops = int(hops) % c.Width
+			c.ExpressTech = tech.HyPPI
+			if kind == topology.CMesh {
+				c.Concentration = 1 + int(hops)%4
+			}
+		default:
+			// Torus and fbfly take no express links; torus additionally
+			// needs 3×3, which Build rejects below when violated.
+		}
 		net, err := topology.Build(c)
 		if err != nil {
 			t.Skip() // configuration legitimately rejected
@@ -38,8 +60,11 @@ func FuzzRouteNext(f *testing.F) {
 		}
 		tab, err := Build(net, policy)
 		if err != nil {
-			t.Fatalf("Build(%dx%d hops=%d, %v): %v", c.Width, c.Height, c.ExpressHops, policy, err)
+			t.Fatalf("Build(%v %dx%d hops=%d, %v): %v", kind, c.Width, c.Height, c.ExpressHops, policy, err)
 		}
+		// The table is minimal when built by the BFS construction —
+		// either policy on a non-monotone kind.
+		minimal := shortest || !net.KindSpec().Monotone
 
 		nn := net.NumNodes()
 		src := topology.NodeID(int(srcRaw) % nn)
@@ -72,25 +97,29 @@ func FuzzRouteNext(f *testing.F) {
 		for at != dst {
 			lid := tab.NextLink(at, dst)
 			if lid < 0 {
-				t.Fatalf("%v %d->%d: no route at %d", policy, src, dst, at)
+				t.Fatalf("%v/%v %d->%d: no route at %d", kind, policy, src, dst, at)
 			}
 			next := net.Links[lid].Dst
-			if shortest && dist[next] != dist[at]-1 {
-				t.Fatalf("ShortestHops %d->%d: hop %d->%d does not make BFS progress (%d -> %d)",
-					src, dst, at, next, dist[at], dist[next])
+			if minimal && dist[next] != dist[at]-1 {
+				t.Fatalf("%v/%v %d->%d: hop %d->%d does not make BFS progress (%d -> %d)",
+					kind, policy, src, dst, at, next, dist[at], dist[next])
 			}
 			if visited[next] {
-				t.Fatalf("%v %d->%d: revisits node %d", policy, src, dst, next)
+				t.Fatalf("%v/%v %d->%d: revisits node %d", kind, policy, src, dst, next)
 			}
 			visited[next] = true
 			at = next
 			steps++
 			if steps > bound {
-				t.Fatalf("%v %d->%d: path exceeds %d hops", policy, src, dst, bound)
+				t.Fatalf("%v/%v %d->%d: path exceeds %d hops", kind, policy, src, dst, bound)
 			}
 		}
-		if shortest && steps != dist[src] {
-			t.Fatalf("ShortestHops %d->%d: %d hops, BFS distance %d", src, dst, steps, dist[src])
+		if minimal && steps != dist[src] {
+			t.Fatalf("%v/%v %d->%d: %d hops, BFS distance %d", kind, policy, src, dst, steps, dist[src])
+		}
+		if c.ExpressHops == 0 && steps < net.Distance(src, dst) {
+			t.Fatalf("%v/%v %d->%d: %d hops beats base-fabric distance %d",
+				kind, policy, src, dst, steps, net.Distance(src, dst))
 		}
 	})
 }

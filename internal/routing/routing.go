@@ -20,6 +20,16 @@
 //     tables fully deterministic.
 //
 // Both are oblivious: the route depends only on (current node, destination).
+//
+// Topology kinds: the monotone construction applies to every kind whose
+// dimension phases are lines or dateline-annotated rings — mesh, cmesh
+// (identical link shape) and torus (wrap channels are datelines, so the
+// usual VC-class switch on wrap keeps the rings deadlock-free, exactly as
+// in the paper's hops = W−1 configuration). Kinds outside that shape
+// (fbfly, whose rows and columns are all-to-all) report Monotone = false
+// in their topology.KindSpec and fall back to the generic shortest-path
+// construction under either policy; see each KindSpec.Deadlock for the
+// per-kind deadlock-freedom annotation.
 package routing
 
 import (
@@ -76,7 +86,13 @@ func Build(net *topology.Network, policy Policy) (*Table, error) {
 	}
 	switch policy {
 	case MonotoneExpress:
-		t.buildMonotone()
+		if net.KindSpec().Monotone {
+			t.buildMonotone()
+		} else {
+			// Generic fallback for kinds without dimension-ordered
+			// monotone phases (see the package comment).
+			t.buildShortest()
+		}
 	case ShortestHops:
 		t.buildShortest()
 	default:

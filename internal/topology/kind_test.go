@@ -1,0 +1,248 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// buildKind constructs a small network of the given kind for structure
+// tests.
+func buildKind(t *testing.T, kind Kind, w, h int) *Network {
+	t.Helper()
+	c := DefaultConfig()
+	c.Kind = kind
+	c.Width, c.Height = w, h
+	n, err := Build(c)
+	if err != nil {
+		t.Fatalf("Build(%v %dx%d): %v", kind, w, h, err)
+	}
+	return n
+}
+
+func TestKindRegistry(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) < 4 {
+		t.Fatalf("Kinds() = %v, want >= 4 entries", kinds)
+	}
+	for _, want := range []Kind{Mesh, Torus, CMesh, FBFly} {
+		s, err := LookupKind(string(want))
+		if err != nil {
+			t.Fatalf("LookupKind(%q): %v", want, err)
+		}
+		if s.Name != want {
+			t.Errorf("LookupKind(%q).Name = %q", want, s.Name)
+		}
+		if s.Description == "" || s.Deadlock == "" {
+			t.Errorf("%v: empty Description/Deadlock annotation", want)
+		}
+	}
+	if _, err := LookupKind("TORUS"); err != nil {
+		t.Errorf("lookup should be case-insensitive: %v", err)
+	}
+	if s, err := LookupKind(""); err != nil || s.Name != Mesh {
+		t.Errorf("empty name should resolve to mesh, got %v, %v", s, err)
+	}
+	if _, err := LookupKind("hypercube"); err == nil ||
+		!strings.Contains(err.Error(), "mesh") {
+		t.Errorf("unknown kind error should list known names: %v", err)
+	}
+	if len(KindSpecs()) != len(kinds) {
+		t.Errorf("KindSpecs()/Kinds() length mismatch")
+	}
+}
+
+func TestKindParse(t *testing.T) {
+	all, err := ParseKinds("all")
+	if err != nil || len(all) != len(Kinds()) {
+		t.Fatalf("ParseKinds(all) = %v, %v", all, err)
+	}
+	got, err := ParseKinds(" torus, fbfly ,torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != Torus || got[1] != FBFly {
+		t.Errorf("ParseKinds dedup/order = %v", got)
+	}
+	if _, err := ParseKinds(""); err == nil {
+		t.Error("empty spec must fail")
+	}
+	if _, err := ParseKinds("mesh,nope"); err == nil {
+		t.Error("unknown name must fail")
+	}
+}
+
+func TestKindCanonical(t *testing.T) {
+	var c Config
+	if got := c.Canonical().Kind; got != Mesh {
+		t.Errorf("zero Kind canonicalizes to %q, want mesh", got)
+	}
+	c.Kind = CMesh
+	if got := c.Canonical().Concentration; got != DefaultConcentration {
+		t.Errorf("zero cmesh concentration canonicalizes to %d, want %d", got, DefaultConcentration)
+	}
+	c.Concentration = 9
+	if got := c.Canonical().Concentration; got != 9 {
+		t.Errorf("explicit concentration overwritten: %d", got)
+	}
+	// Kind names fold case like LookupKind does: "CMesh" is cmesh, gets
+	// the default concentration, and builds.
+	mixed := DefaultConfig()
+	mixed.Kind = "CMesh"
+	mixed.Width, mixed.Height = 4, 4
+	if got := mixed.Canonical(); got.Kind != CMesh || got.Concentration != DefaultConcentration {
+		t.Errorf("mixed-case kind canonicalizes to %+v", got)
+	}
+	if n, err := Build(mixed); err != nil {
+		t.Errorf("Build with mixed-case kind: %v", err)
+	} else if n.String() != "4x4 Electronic cmesh (c=4)" {
+		t.Errorf("mixed-case kind String() = %q", n.String())
+	}
+}
+
+// TestKindTorusStructure pins the 4×4 torus shape: the mesh channels plus one
+// wrap pair per row and column, every wrap a dateline, every router
+// radix-5.
+func TestKindTorusStructure(t *testing.T) {
+	n := buildKind(t, Torus, 4, 4)
+	// 2·(3·4 + 3·4) mesh channels + 2·(4 + 4) wraps = 48 + 16.
+	if got := len(n.Links); got != 64 {
+		t.Errorf("4x4 torus has %d channels, want 64", got)
+	}
+	wraps := 0
+	for _, l := range n.Links {
+		if l.Dateline {
+			wraps++
+			if l.Express {
+				t.Errorf("torus wrap %d marked express", l.ID)
+			}
+			want := 3 * units.Millimetre
+			if l.LengthM != want {
+				t.Errorf("wrap %d length %v, want %v", l.ID, l.LengthM, want)
+			}
+		}
+	}
+	if wraps != 16 {
+		t.Errorf("%d dateline channels, want 16", wraps)
+	}
+	if !n.HasDatelineX() || !n.HasDatelineY() {
+		t.Error("torus must have datelines in both dimensions")
+	}
+	for id := 0; id < n.NumNodes(); id++ {
+		if got := n.Ports(NodeID(id)); got != 5 {
+			t.Errorf("node %d ports = %d, want 5 (radix-4 torus + local)", id, got)
+		}
+	}
+	if n.ExpressChannels() != 0 {
+		t.Error("torus has no express channels")
+	}
+}
+
+// TestKindCMeshStructure pins the concentrated mesh: mesh wiring on the router
+// grid with √c-scaled pitch and c local ports per router.
+func TestKindCMeshStructure(t *testing.T) {
+	c := DefaultConfig()
+	c.Kind = CMesh
+	c.Width, c.Height = 4, 4 // 16 routers × 4 cores = 64-core system
+	n, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Concentration != DefaultConcentration {
+		t.Fatalf("concentration = %d, want default %d", n.Concentration, DefaultConcentration)
+	}
+	if got := len(n.Links); got != 48 {
+		t.Errorf("4x4 cmesh has %d channels, want 48 (same wiring as mesh)", got)
+	}
+	// √4 = 2: router pitch doubles the 1 mm core spacing.
+	for _, l := range n.Links {
+		if l.LengthM != 2*units.Millimetre {
+			t.Errorf("link %d length %v, want 2 mm", l.ID, l.LengthM)
+		}
+	}
+	// Interior router: 4 cores + 4 links.
+	if got := n.Ports(n.Node(1, 1)); got != 8 {
+		t.Errorf("interior cmesh ports = %d, want 8", got)
+	}
+	if got := n.Ports(n.Node(0, 0)); got != 6 {
+		t.Errorf("corner cmesh ports = %d, want 6", got)
+	}
+}
+
+// TestKindFBFlyStructure pins the flattened butterfly: rows and columns fully
+// connected, constant radix, span-proportional lengths.
+func TestKindFBFlyStructure(t *testing.T) {
+	n := buildKind(t, FBFly, 4, 4)
+	// Per row C(4,2) = 6 pairs × 4 rows, same for columns: 48 pairs.
+	if got := len(n.Links); got != 96 {
+		t.Errorf("4x4 fbfly has %d channels, want 96", got)
+	}
+	for id := 0; id < n.NumNodes(); id++ {
+		if got := n.Ports(NodeID(id)); got != 7 {
+			t.Errorf("node %d ports = %d, want 7 ((W−1)+(H−1)+local)", id, got)
+		}
+	}
+	if n.HasDateline() {
+		t.Error("fbfly has no datelines")
+	}
+	for _, l := range n.Links {
+		span := n.MeshDistance(l.Src, l.Dst)
+		if l.LengthM != float64(span)*units.Millimetre {
+			t.Errorf("link %d length %v, want %d mm", l.ID, l.LengthM, span)
+		}
+	}
+}
+
+func TestKindDistanceFormulas(t *testing.T) {
+	torus := buildKind(t, Torus, 6, 4)
+	if got := torus.Distance(torus.Node(0, 0), torus.Node(5, 3)); got != 2 {
+		t.Errorf("torus corner distance = %d, want 2 (1+1 around the wraps)", got)
+	}
+	if got := torus.Distance(torus.Node(0, 0), torus.Node(3, 2)); got != 5 {
+		t.Errorf("torus mid distance = %d, want 5", got)
+	}
+	fb := buildKind(t, FBFly, 6, 4)
+	if got := fb.Distance(fb.Node(0, 0), fb.Node(5, 3)); got != 2 {
+		t.Errorf("fbfly distance = %d, want 2", got)
+	}
+	if got := fb.Distance(fb.Node(0, 2), fb.Node(5, 2)); got != 1 {
+		t.Errorf("fbfly row distance = %d, want 1", got)
+	}
+	mesh := buildKind(t, Mesh, 6, 4)
+	if got, want := mesh.Distance(mesh.Node(0, 0), mesh.Node(5, 3)), mesh.MeshDistance(mesh.Node(0, 0), mesh.Node(5, 3)); got != want || got != 8 {
+		t.Errorf("mesh Distance = %d, MeshDistance = %d, want 8", got, want)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{Torus, "8x8 Electronic torus"},
+		{CMesh, "8x8 Electronic cmesh (c=4)"},
+		{FBFly, "8x8 Electronic flattened butterfly"},
+	}
+	for _, tc := range cases {
+		n := buildKind(t, tc.kind, 8, 8)
+		if got := n.String(); got != tc.want {
+			t.Errorf("%v String() = %q, want %q", tc.kind, got, tc.want)
+		}
+	}
+	// The mesh format is pinned by TestStringDescribesNetwork; a torus
+	// never reports express channels.
+}
+
+// TestKindCapability sanity-checks Table III's C across kinds at a fixed
+// grid: fbfly ≫ torus > mesh (more channels, same per-channel rate).
+func TestKindCapability(t *testing.T) {
+	mesh := buildKind(t, Mesh, 8, 8)
+	torus := buildKind(t, Torus, 8, 8)
+	fb := buildKind(t, FBFly, 8, 8)
+	if !(fb.CapabilityGbpsPerNode() > torus.CapabilityGbpsPerNode() &&
+		torus.CapabilityGbpsPerNode() > mesh.CapabilityGbpsPerNode()) {
+		t.Errorf("capability ordering violated: mesh %v torus %v fbfly %v",
+			mesh.CapabilityGbpsPerNode(), torus.CapabilityGbpsPerNode(), fb.CapabilityGbpsPerNode())
+	}
+}

@@ -1,6 +1,8 @@
-// Package topology builds the networks the paper evaluates: a W×H electronic
-// (or optical) base mesh, optionally augmented with horizontal express links
-// of a chosen technology and hop length (Fig. 2a, 2b).
+// Package topology builds the networks the paper evaluates — a W×H
+// electronic (or optical) base mesh, optionally augmented with horizontal
+// express links of a chosen technology and hop length (Fig. 2a, 2b) — and
+// generalizes them into a registry of named topology kinds (mesh, torus,
+// cmesh, fbfly; see kind.go) that all share the same Link/NodeID model.
 //
 // All links are bidirectional and are represented as pairs of unidirectional
 // channels, matching both BookSim's channel model and the way the paper
@@ -8,11 +10,13 @@
 // nodes (0,h), (h,2h), … along each row; for a 16-wide mesh this yields the
 // paper's counts of 5/3/1 express channels per row per direction for
 // h = 3/5/15 (h = 15 closes each row into a ring, which the paper calls
-// "effectively a 2D torus").
+// "effectively a 2D torus" — the torus kind builds exactly those closures
+// into the base fabric).
 package topology
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/tech"
 	"repro/internal/units"
@@ -57,8 +61,16 @@ func (l Link) DY(n *Network) int { return n.Y(l.Dst) - n.Y(l.Src) }
 
 // Config describes one network of the design space.
 type Config struct {
-	// Width and Height give the node grid (Table II: 16×16).
+	// Kind selects the topology family (see kind.go); the zero value is
+	// Mesh, so configurations predating the registry build unchanged.
+	Kind Kind
+	// Width and Height give the node grid (Table II: 16×16). For cmesh
+	// these are router-grid dimensions; each router serves Concentration
+	// cores.
 	Width, Height int
+	// Concentration is the cmesh cores-per-router factor c (0 selects
+	// DefaultConcentration for cmesh; other kinds require 0 or 1).
+	Concentration int
 	// CoreSpacingM is the inter-core pitch (Table II: 1 mm).
 	CoreSpacingM float64
 	// CapacityBps is the per-channel rate (Table II: 50 Gb/s).
@@ -91,9 +103,34 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks structural soundness.
+// Canonical folds the defaulted fields so equal networks compare (and
+// cache) equal: the Kind is lower-cased (LookupKind resolves names
+// case-insensitively, so "Torus" and "torus" are one kind), an empty Kind
+// is Mesh, and a zero cmesh Concentration is DefaultConcentration. Build
+// and Validate canonicalize internally; callers keying caches on a Config
+// should canonicalize too.
+func (c Config) Canonical() Config {
+	c.Kind = Kind(strings.ToLower(strings.TrimSpace(string(c.Kind))))
+	if c.Kind == "" {
+		c.Kind = Mesh
+	}
+	if c.Kind == CMesh && c.Concentration == 0 {
+		c.Concentration = DefaultConcentration
+	}
+	return c
+}
+
+// Validate checks structural soundness: the common constraints every kind
+// shares, then the kind's own (grid floors, express-hop geometry — the
+// guard that keeps degenerate extent-1 dimensions with express hops out of
+// the monotone table builder, which they would panic).
 func (c Config) Validate() error {
-	if c.Width < 2 || c.Height < 1 {
+	c = c.Canonical()
+	spec, err := LookupKind(string(c.Kind))
+	if err != nil {
+		return err
+	}
+	if c.Width < 1 || c.Height < 1 || c.Width*c.Height < 2 {
 		return fmt.Errorf("topology: grid %dx%d too small", c.Width, c.Height)
 	}
 	if c.CoreSpacingM <= 0 {
@@ -105,91 +142,65 @@ func (c Config) Validate() error {
 	if c.ExpressHops < 0 {
 		return fmt.Errorf("topology: negative express hops %d", c.ExpressHops)
 	}
-	if c.ExpressHops > 0 && c.ExpressHops >= c.Width {
-		return fmt.Errorf("topology: express hops %d must be below width %d", c.ExpressHops, c.Width)
+	if c.Concentration < 0 {
+		return fmt.Errorf("topology: negative concentration %d", c.Concentration)
 	}
-	if c.ExpressBothDims && c.ExpressHops > 0 && c.ExpressHops >= c.Height {
-		return fmt.Errorf("topology: express hops %d must be below height %d", c.ExpressHops, c.Height)
+	if c.Kind != CMesh && c.Concentration > 1 {
+		return fmt.Errorf("topology: concentration %d applies to cmesh only, not %v", c.Concentration, c.Kind)
 	}
-	return nil
+	return spec.Validate(c)
 }
 
 // Network is an immutable built topology.
 type Network struct {
 	Config
 	Links []Link
+	// spec is the resolved kind (set by Build; see KindSpec()).
+	spec *KindSpec
 	// out[node] lists the IDs of channels leaving the node.
 	out [][]LinkID
 	// in[node] lists the IDs of channels entering the node.
 	in [][]LinkID
 }
 
-// Build constructs the network for a configuration.
+// Build constructs the network for a configuration, dispatching to the
+// configured kind's wiring (see kind.go for the registered families).
 func Build(c Config) (*Network, error) {
+	c = c.Canonical()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{Config: c}
+	spec, err := LookupKind(string(c.Kind))
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{Config: c, spec: spec}
 	nn := c.Width * c.Height
 	n.out = make([][]LinkID, nn)
 	n.in = make([][]LinkID, nn)
-
-	addPair := func(a, b NodeID, t tech.Technology, hops int, express, vertical bool) {
-		length := float64(hops) * c.CoreSpacingM
-		closure := c.Width - 1
-		if vertical {
-			closure = c.Height - 1
-		}
-		dateline := express && hops == closure
-		for _, e := range [2][2]NodeID{{a, b}, {b, a}} {
-			id := LinkID(len(n.Links))
-			n.Links = append(n.Links, Link{
-				ID:          id,
-				Src:         e[0],
-				Dst:         e[1],
-				Tech:        t,
-				LengthM:     length,
-				LatencyClks: tech.LinkLatencyClks(t),
-				CapacityBps: c.CapacityBps,
-				Express:     express,
-				Dateline:    dateline,
-			})
-			n.out[e[0]] = append(n.out[e[0]], id)
-			n.in[e[1]] = append(n.in[e[1]], id)
-		}
-	}
-
-	// Base mesh channels: horizontal then vertical neighbours.
-	for y := 0; y < c.Height; y++ {
-		for x := 0; x < c.Width-1; x++ {
-			addPair(n.Node(x, y), n.Node(x+1, y), c.BaseTech, 1, false, false)
-		}
-	}
-	for y := 0; y < c.Height-1; y++ {
-		for x := 0; x < c.Width; x++ {
-			addPair(n.Node(x, y), n.Node(x, y+1), c.BaseTech, 1, false, true)
-		}
-	}
-
-	// Horizontal express channels: (0,h), (h,2h), … per row. The paper
-	// restricts express links to the horizontal dimension to bound
-	// router port counts at 7.
-	if c.ExpressHops > 0 {
-		h := c.ExpressHops
-		for y := 0; y < c.Height; y++ {
-			for x := 0; x+h < c.Width; x += h {
-				addPair(n.Node(x, y), n.Node(x+h, y), c.ExpressTech, h, true, false)
-			}
-		}
-		if c.ExpressBothDims {
-			for x := 0; x < c.Width; x++ {
-				for y := 0; y+h < c.Height; y += h {
-					addPair(n.Node(x, y), n.Node(x, y+h), c.ExpressTech, h, true, true)
-				}
-			}
-		}
-	}
+	spec.Wire(c, n)
 	return n, nil
+}
+
+// addPair appends the two unidirectional channels of one bidirectional
+// link; kind wiring functions build every network through it.
+func (n *Network) addPair(a, b NodeID, t tech.Technology, lengthM float64, express, dateline bool) {
+	for _, e := range [2][2]NodeID{{a, b}, {b, a}} {
+		id := LinkID(len(n.Links))
+		n.Links = append(n.Links, Link{
+			ID:          id,
+			Src:         e[0],
+			Dst:         e[1],
+			Tech:        t,
+			LengthM:     lengthM,
+			LatencyClks: tech.LinkLatencyClks(t),
+			CapacityBps: n.CapacityBps,
+			Express:     express,
+			Dateline:    dateline,
+		})
+		n.out[e[0]] = append(n.out[e[0]], id)
+		n.in[e[1]] = append(n.in[e[1]], id)
+	}
 }
 
 // MustBuild is Build that panics on error.
@@ -222,10 +233,17 @@ func (n *Network) OutLinks(id NodeID) []LinkID { return n.out[id] }
 func (n *Network) InLinks(id NodeID) []LinkID { return n.in[id] }
 
 // Ports returns the router port count at a node: one local injection/
-// ejection port plus one port per attached bidirectional link (out-degree).
-// Interior mesh nodes have 5 ports; express-endpoint nodes have 6 or 7
-// ("5 (base) or 7 (hybrid)" in Table II).
-func (n *Network) Ports(id NodeID) int { return 1 + len(n.out[id]) }
+// ejection port per attached core (Concentration for cmesh, 1 otherwise)
+// plus one port per attached bidirectional link (out-degree). Interior
+// mesh nodes have 5 ports; express-endpoint nodes have 6 or 7 ("5 (base)
+// or 7 (hybrid)" in Table II).
+func (n *Network) Ports(id NodeID) int {
+	local := n.Concentration
+	if local < 1 {
+		local = 1
+	}
+	return local + len(n.out[id])
+}
 
 // MaxPorts returns the largest router port count in the network.
 func (n *Network) MaxPorts() int {
@@ -292,25 +310,49 @@ func (n *Network) CapabilityGbpsPerNode() float64 {
 	return n.AggregateCapacityBps() / units.Giga / float64(n.NumNodes())
 }
 
-// MeshDistance returns the Manhattan distance in the base mesh between two
-// nodes, a lower bound reference for routing tests.
+// KindSpec returns the network's resolved topology family.
+func (n *Network) KindSpec() *KindSpec {
+	if n.spec != nil {
+		return n.spec
+	}
+	// Networks always come out of Build with spec set; resolve lazily for
+	// zero-value robustness only. No mutation — safe for concurrent use.
+	s, err := LookupKind(string(n.Config.Canonical().Kind))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Distance returns the minimal hop distance between two nodes over the
+// kind's base fabric: Manhattan for mesh/cmesh, folded Manhattan for
+// torus, differing-coordinate count for fbfly. Express shortcuts are not
+// counted — for express configurations Distance is the base-fabric
+// reference, not the routed hop count.
+func (n *Network) Distance(a, b NodeID) int {
+	return n.KindSpec().Distance(n, a, b)
+}
+
+// MeshDistance returns the Manhattan distance in the base grid between two
+// nodes — the mesh family's Distance, kept as a fixed reference for
+// routing tests that compare kinds against the grid geometry.
 func (n *Network) MeshDistance(a, b NodeID) int {
-	dx := n.X(a) - n.X(b)
-	if dx < 0 {
-		dx = -dx
-	}
-	dy := n.Y(a) - n.Y(b)
-	if dy < 0 {
-		dy = -dy
-	}
-	return dx + dy
+	return distManhattan(n, a, b)
 }
 
 // String summarizes the topology.
 func (n *Network) String() string {
-	s := fmt.Sprintf("%dx%d %v mesh", n.Width, n.Height, n.BaseTech)
-	if n.ExpressHops > 0 {
-		s += fmt.Sprintf(" + %v express (hops=%d)", n.ExpressTech, n.ExpressHops)
+	c := n.Config.Canonical()
+	kind := string(c.Kind)
+	if c.Kind == FBFly {
+		kind = "flattened butterfly"
+	}
+	s := fmt.Sprintf("%dx%d %v %s", c.Width, c.Height, c.BaseTech, kind)
+	if c.Kind == CMesh {
+		s += fmt.Sprintf(" (c=%d)", c.Concentration)
+	}
+	if c.ExpressHops > 0 {
+		s += fmt.Sprintf(" + %v express (hops=%d)", c.ExpressTech, c.ExpressHops)
 	}
 	return s
 }

@@ -157,7 +157,8 @@ func (c SoteriouConfig) Validate() error {
 // Soteriou builds the synthetic rate matrix for a network.
 //
 // Destination weights from source s follow the truncated geometric hop
-// distribution: nodes at mesh distance h collectively receive weight
+// distribution: nodes at base-fabric hop distance h (the network kind's
+// Distance — Manhattan on a mesh) collectively receive weight
 // p·(1-p)^(h-1), shared equally among them. Per-node injection rates are
 // |N(0, σ)| clamped to 1, scaled so the maximum equals MaxInjectionRate.
 func Soteriou(net *topology.Network, cfg SoteriouConfig) (*Matrix, error) {
@@ -185,7 +186,7 @@ func Soteriou(net *topology.Network, cfg SoteriouConfig) (*Matrix, error) {
 	}
 
 	m := NewMatrix(n)
-	maxDist := net.Width + net.Height // exclusive upper bound on mesh distance
+	maxDist := net.Width + net.Height // exclusive upper bound on every kind's Distance
 	counts := make([]int, maxDist)
 	hopW := make([]float64, maxDist)
 	for s := 0; s < n; s++ {
@@ -197,7 +198,7 @@ func Soteriou(net *topology.Network, cfg SoteriouConfig) (*Matrix, error) {
 			if d == s {
 				continue
 			}
-			counts[net.MeshDistance(src, topology.NodeID(d))]++
+			counts[net.Distance(src, topology.NodeID(d))]++
 		}
 		// Truncated geometric weight per populated distance, in fixed
 		// (ascending) order for bit-exact determinism.
@@ -216,7 +217,7 @@ func Soteriou(net *topology.Network, cfg SoteriouConfig) (*Matrix, error) {
 			if d == s {
 				continue
 			}
-			h := net.MeshDistance(src, topology.NodeID(d))
+			h := net.Distance(src, topology.NodeID(d))
 			m.Rates[s][d] = rate * hopW[h] / totalW / float64(counts[h])
 		}
 	}
@@ -259,8 +260,8 @@ func BitComplement(net *topology.Network, rate float64) *Matrix {
 	return m
 }
 
-// MeanHopDistance returns the traffic-weighted average mesh distance of a
-// matrix — the knob p controls in the Soteriou model.
+// MeanHopDistance returns the traffic-weighted average base-fabric hop
+// distance of a matrix — the knob p controls in the Soteriou model.
 func MeanHopDistance(net *topology.Network, m *Matrix) float64 {
 	var wsum, sum float64
 	for s := 0; s < m.N; s++ {
@@ -269,7 +270,7 @@ func MeanHopDistance(net *topology.Network, m *Matrix) float64 {
 			if r == 0 {
 				continue
 			}
-			sum += r * float64(net.MeshDistance(topology.NodeID(s), topology.NodeID(d)))
+			sum += r * float64(net.Distance(topology.NodeID(s), topology.NodeID(d)))
 			wsum += r
 		}
 	}
