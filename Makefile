@@ -8,6 +8,7 @@
 #   make bench         — regenerate every paper table/figure as benchmarks
 #   make bench-compare — run the benchmarks and diff them against BENCH_baseline.txt
 #   make golden        — rewrite internal/core/testdata/golden.json from HEAD
+#   make examples-smoke — build and run every examples/ binary (output discarded)
 
 GO ?= go
 
@@ -15,7 +16,7 @@ GO ?= go
 # pinned baseline.
 BENCH_OUT ?= /tmp/hyppi-bench-current.txt
 
-.PHONY: ci vet test short race fmt-check bench bench-compare golden
+.PHONY: ci vet test short race fmt-check bench bench-compare golden examples-smoke
 
 # Ordered so the cheapest gates fail first: vet (seconds), short
 # (seconds), race-short (tens of seconds), then the full suite.
@@ -52,3 +53,12 @@ bench-compare:
 
 golden:
 	$(GO) test ./internal/core -run TestGolden -update
+
+# Every example is a standalone demo of one experiment family; running
+# each to completion (output discarded, failures loud) keeps them from
+# bit-rotting as the library underneath them moves.
+examples-smoke:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run "./$$d" > /dev/null; \
+	done

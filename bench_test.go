@@ -17,6 +17,7 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/dsent"
+	"repro/internal/energy"
 	"repro/internal/link"
 	"repro/internal/noc"
 	"repro/internal/npb"
@@ -400,6 +401,53 @@ func BenchmarkSimulatorThroughputReuse(b *testing.B) {
 		flitHops = float64(hops)
 	}
 	b.ReportMetric(flitHops*float64(b.N)/b.Elapsed().Seconds(), "flit-hops/s")
+}
+
+// BenchmarkEnergyAccounting measures the activity-based energy subsystem:
+// one measured MG trace run on the 16×16 E + HyPPI express@3 hybrid is
+// priced per iteration (the coefficient fold over ~1100 link counters plus
+// the census scalars), reporting the run's measured fJ/bit and average
+// power as metrics. Model construction is outside the timed loop, like
+// network construction in the sweep benchmarks.
+func BenchmarkEnergyAccounting(b *testing.B) {
+	c := topology.DefaultConfig()
+	c.ExpressTech = tech.HyPPI
+	c.ExpressHops = 3
+	net := topology.MustBuild(c)
+	tab := routing.MustBuild(net, routing.MonotoneExpress)
+	cfg := npb.DefaultConfig(npb.MG)
+	cfg.Scale = 1.0 / 32
+	events := npb.MustGenerate(cfg)
+	sim, err := noc.New(net, tab, noc.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts, err := trace.Packetize(events, net.NumNodes(), trace.DefaultPacketize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.InjectAll(pkts); err != nil {
+		b.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := energy.NewModel(net, dsent.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var run energy.RunEnergy
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err = model.Price(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(run.FJPerBit, "fJ/bit")
+	b.ReportMetric(run.AvgPowerW, "avg_W")
 }
 
 // BenchmarkExtensionWDMSweep quantifies the paper's wavelength-count

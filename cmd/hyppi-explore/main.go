@@ -11,6 +11,7 @@
 //	hyppi-explore -patterns all
 //	hyppi-explore -topology torus,fbfly
 //	hyppi-explore -topology all -patterns all
+//	hyppi-explore -energy [-patterns uniform,tornado]
 //	hyppi-explore -cpuprofile cpu.out -memprofile mem.out
 //
 // With -patterns, the analytic exploration is followed by a
@@ -18,6 +19,17 @@
 // electronic mesh versus the headline E + HyPPI express@3 hybrid) for
 // the named registry patterns, reporting each pattern's latency-knee
 // saturation throughput.
+//
+// With -energy, the analytic exploration is followed by a measured
+// latency–energy sweep (8×8 grid, plain electronic mesh versus electronic
+// and HyPPI express hybrids) over the -patterns list (default
+// uniform,tornado): every drained point is priced by the activity-based
+// energy subsystem — measured fJ/bit and simulated CLEAR — and each
+// pattern's latency–energy Pareto frontier is printed. Combined with
+// -topology, one plain electronic fabric per selected kind competes
+// instead of the express hybrids. The analytic path *estimates* power
+// from injection rates; -energy *measures* it from simulator activity
+// counters.
 //
 // With -topology, the mesh exploration is followed by a cross-topology
 // comparison of the named registry kinds (see internal/topology): an
@@ -62,6 +74,9 @@ func run() int {
 	topoFlag := flag.String("topology", "",
 		"comma-separated topology kinds to cross-compare ("+
 			strings.Join(topology.Names(), ", ")+"), or \"all\"")
+	energyFlag := flag.Bool("energy", false,
+		"follow the exploration with a measured latency–energy sweep "+
+			"(activity-based fJ/bit, simulated CLEAR, Pareto fronts)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -176,16 +191,71 @@ func run() int {
 				return 1
 			}
 		}
+		if *energyFlag {
+			if err := runEnergySweep(kinds, *patterns, o, *workers); err != nil {
+				fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+				return 1
+			}
+		}
 		return 0
 	}
 
-	if *patterns != "" {
+	if *patterns != "" && !*energyFlag {
 		if err := runPatternSweep(*patterns, o, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
 			return 1
 		}
 	}
+	if *energyFlag {
+		if err := runEnergySweep(nil, *patterns, o, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// runEnergySweep follows the analytic exploration with the measured
+// latency–energy matrix on an 8×8 grid, priced per drained point by the
+// activity-based energy subsystem with the per-pattern Pareto frontier.
+// On the mesh (nil or {mesh} kinds) the plain electronic mesh competes
+// against the electronic and HyPPI express@3 hybrids; with explicit
+// non-mesh kinds one plain electronic fabric per kind competes instead
+// (non-mesh fabrics take no express channels).
+func runEnergySweep(kinds []topology.Kind, spec string, o core.Options, workers int) error {
+	if spec == "" {
+		spec = "uniform,tornado"
+	}
+	pats, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	o.Topology.Width, o.Topology.Height = 8, 8
+	meshOnly := len(kinds) == 0 || (len(kinds) == 1 && kinds[0] == topology.Mesh)
+	if len(kinds) == 0 {
+		kinds = []topology.Kind{topology.Mesh}
+	}
+	points := []core.DesignPoint{
+		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+	}
+	if meshOnly {
+		points = append(points,
+			core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 3},
+			core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3})
+	}
+	sc := core.DefaultEnergySweep()
+	results, err := core.EnergySweep(context.Background(), kinds,
+		points, pats, sc, o, runner.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nMeasured latency–energy sweep (8×8, cycle-accurate, rates %v)\n", sc.Rates)
+	fmt.Println("fJ/bit = measured activity energy + static power integrated over the run;")
+	fmt.Println("'*' marks the per-pattern latency–energy Pareto frontier")
+	fmt.Print(report.EnergyTable(results))
+	fmt.Println("\nPareto frontier per pattern")
+	fmt.Print(report.ParetoTable(results))
+	return nil
 }
 
 // runKindComparison prints the cross-topology analytic table: every

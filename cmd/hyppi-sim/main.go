@@ -10,6 +10,7 @@
 //	hyppi-sim -trace file.txt [-express Photonic]
 //	hyppi-sim -pattern tornado [-express HyPPI]
 //	hyppi-sim -pattern all -topology all
+//	hyppi-sim -pattern tornado -energy
 //	hyppi-sim -kernel FT -topology torus
 //	hyppi-sim -cpuprofile cpu.out -memprofile mem.out
 //
@@ -17,6 +18,11 @@
 // instead of traces: the named registry pattern (or "all") is swept over
 // offered load on an 8×8 grid, mesh versus express hybrids, and the
 // latency-knee saturation throughput is reported per configuration.
+//
+// Adding -energy prices every drained point of that sweep with the
+// activity-based energy subsystem (internal/energy): measured fJ/bit, the
+// simulated CLEAR, and the latency–energy Pareto frontier across the
+// competing design points of each (topology, pattern) scenario.
 //
 // -topology selects the topology kind (see internal/topology). In
 // pattern mode it takes a comma list or "all" and sweeps the full
@@ -65,6 +71,9 @@ func run() int {
 	topoFlag := flag.String("topology", "mesh",
 		"topology kind: "+strings.Join(topology.Names(), ", ")+
 			" (comma list or \"all\" in pattern mode; single kind for traces)")
+	energySweep := flag.Bool("energy", false,
+		"with -pattern: measured energy accounting per sweep point "+
+			"(fJ/bit, simulated CLEAR, latency–energy Pareto frontier)")
 	express := flag.String("express", "HyPPI", "express link technology: Electronic, Photonic or HyPPI")
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
 	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
@@ -95,9 +104,12 @@ func run() int {
 	}
 
 	if *pattern != "" {
-		if len(kinds) == 1 && kinds[0] == topology.Mesh {
+		switch {
+		case *energySweep:
+			err = runEnergySweep(kinds, *pattern, exTech, o, pool)
+		case len(kinds) == 1 && kinds[0] == topology.Mesh:
 			err = runPatternSweep(*pattern, exTech, o, pool)
-		} else {
+		default:
 			err = runTopologySweep(kinds, *pattern, o, pool)
 		}
 		if err != nil {
@@ -105,6 +117,10 @@ func run() int {
 			return 1
 		}
 		return 0
+	}
+	if *energySweep {
+		fmt.Fprintln(os.Stderr, "hyppi-sim: -energy needs -pattern (it prices the pattern sweep)")
+		return 1
 	}
 
 	// Trace modes take a single kind; non-mesh kinds have no express
@@ -182,6 +198,46 @@ func run() int {
 			core.FormatEnergy(energy[2]), core.FormatEnergy(energy[3]))
 	}
 	return 0
+}
+
+// runEnergySweep prices the pattern sweep with the activity-based energy
+// subsystem: on the mesh the express hop ladder competes, on other (or
+// multiple) kinds one plain fabric per kind does. Each drained point
+// reports measured fJ/bit and the simulated CLEAR; each (topology,
+// pattern) scenario gets its latency–energy Pareto frontier.
+func runEnergySweep(kinds []topology.Kind, spec string, exTech tech.Technology,
+	o core.Options, pool runner.Config) error {
+	patterns, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	o.Topology.Width, o.Topology.Height = 8, 8
+	var points []core.DesignPoint
+	if len(kinds) == 1 && kinds[0] == topology.Mesh {
+		// The 8×8 analog of the paper's hop ladder (7 = W−1 ring closure).
+		for _, hops := range []int{0, 3, 5, 7} {
+			ex := exTech
+			if hops == 0 {
+				ex = tech.Electronic
+			}
+			points = append(points, core.DesignPoint{Base: tech.Electronic, Express: ex, Hops: hops})
+		}
+	} else {
+		// Non-mesh kinds take no express channels: plain fabric per kind.
+		points = []core.DesignPoint{{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}}
+	}
+	sc := core.DefaultEnergySweep()
+	results, err := core.EnergySweep(context.Background(), kinds, points, patterns, sc, o, pool)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("8×8 measured latency–energy sweep, express = %v, rates = %v\n", exTech, sc.Rates)
+	fmt.Println("(fJ/bit = measured activity energy + static power integrated over the run;")
+	fmt.Println(" '*' marks the latency–energy Pareto frontier of the scenario)")
+	fmt.Print(report.EnergyTable(results))
+	fmt.Println("\nPareto frontier per (topology, pattern) scenario")
+	fmt.Print(report.ParetoTable(results))
+	return nil
 }
 
 // runTopologySweep sweeps the named registry patterns over offered load on

@@ -169,6 +169,10 @@ type RouterCost struct {
 	AreaM2          float64
 	StaticW         float64
 	DynamicJPerFlit float64
+	// Component split of DynamicJPerFlit, for activity-based accounting
+	// (energy package): one buffer write, one buffer read, one crossbar
+	// traversal per flit. The three sum to DynamicJPerFlit.
+	BufWriteJPerFlit, BufReadJPerFlit, XbarJPerFlit float64
 }
 
 // ElectronicRouter evaluates a Table II input-queued VC router with the
@@ -185,12 +189,15 @@ func ElectronicRouter(cfg Config, ports int) RouterCost {
 	static := routerClockStaticW + bufBits*bufBitLeakW + float64(ports)*portStaticW
 	// A flit is written to and read from an input buffer, then crosses
 	// the crossbar.
-	dynamic := 2*float64(cfg.FlitBits)*bufAccessJPerBit + xbarArbJPerFlit
+	bufJ := float64(cfg.FlitBits) * bufAccessJPerBit
 	return RouterCost{
-		Ports:           ports,
-		AreaM2:          area,
-		StaticW:         static,
-		DynamicJPerFlit: dynamic,
+		Ports:            ports,
+		AreaM2:           area,
+		StaticW:          static,
+		DynamicJPerFlit:  2*bufJ + xbarArbJPerFlit,
+		BufWriteJPerFlit: bufJ,
+		BufReadJPerFlit:  bufJ,
+		XbarJPerFlit:     xbarArbJPerFlit,
 	}
 }
 
@@ -211,10 +218,30 @@ type LinkCost struct {
 	// DynamicJPerFlit is the energy charged per flit traversal. For
 	// optical links this includes the always-on laser/trimming power
 	// amortized at the reference utilization, mirroring how DSENT
-	// reports per-bit energy at a load point.
+	// reports per-bit energy at a load point. It is always the sum
+	// WireJPerFlit + ModulatorJPerFlit + SerdesJPerFlit +
+	// ReceiverJPerFlit + AmortJPerFlit.
 	DynamicJPerFlit float64
+	// Component split of DynamicJPerFlit, for activity-based accounting
+	// (energy package): WireJPerFlit is the repeated-wire switching
+	// energy (electronic links only), ModulatorJPerFlit the E-O drive
+	// including the driver chain, SerdesJPerFlit the serializer
+	// switching, ReceiverJPerFlit the O-E TIA + limiting amp, and
+	// AmortJPerFlit the always-on power folded in at the reference
+	// utilization — the part a measured-activity accounting replaces
+	// with static power integrated over real simulated time.
+	WireJPerFlit, ModulatorJPerFlit, SerdesJPerFlit, ReceiverJPerFlit, AmortJPerFlit float64
 	// LaserW and TuningW break out the optical static contributions.
 	LaserW, TuningW float64
+}
+
+// ActivityJPerFlit is the switching-only energy of one flit traversal:
+// DynamicJPerFlit without the amortized always-on share. This is the
+// coefficient to multiply by *measured* flit counts when static power is
+// accounted separately over simulated time (see the energy package),
+// avoiding the double-count the amortized figure would introduce.
+func (lc LinkCost) ActivityJPerFlit() float64 {
+	return lc.WireJPerFlit + lc.ModulatorJPerFlit + lc.SerdesJPerFlit + lc.ReceiverJPerFlit
 }
 
 // Link evaluates one unidirectional link of the given technology and length
@@ -267,6 +294,8 @@ func electronicLink(cfg Config, lengthM float64) LinkCost {
 		AreaM2:          area,
 		StaticW:         static,
 		DynamicJPerFlit: flitJ + amort,
+		WireJPerFlit:    flitJ,
+		AmortJPerFlit:   amort,
 	}
 }
 
@@ -324,8 +353,11 @@ func opticalLink(cfg Config, t tech.Technology, lengthM float64, wavelengths int
 	}
 	modJPerBit := driverFactor * p.Modulator.CapacitanceFF * units.Femto * swing * swing
 	bitsPerFlit := float64(cfg.FlitBits)
-	dynamic := (modJPerBit + serdesJPerBit + rxJPerBit) * bitsPerFlit
-	dynamic += static / (capacity * amortUtilization) * bitsPerFlit
+	modJ := modJPerBit * bitsPerFlit
+	serdesJ := serdesJPerBit * bitsPerFlit
+	rxJ := rxJPerBit * bitsPerFlit
+	amortJ := static / (capacity * amortUtilization) * bitsPerFlit
+	dynamic := modJ + serdesJ + rxJ + amortJ
 
 	// Area: TX/RX devices (+ ring keep-out for photonics), laser, SERDES
 	// and the waveguide track.
@@ -343,16 +375,20 @@ func opticalLink(cfg Config, t tech.Technology, lengthM float64, wavelengths int
 	area := deviceArea + trackWidth*lengthM
 
 	return LinkCost{
-		Tech:            t,
-		LengthM:         lengthM,
-		Wavelengths:     lambdas,
-		CapacityBps:     capacity,
-		LatencyClks:     tech.LinkLatencyClks(t),
-		AreaM2:          area,
-		StaticW:         static,
-		DynamicJPerFlit: dynamic,
-		LaserW:          laserW,
-		TuningW:         tuningW,
+		Tech:              t,
+		LengthM:           lengthM,
+		Wavelengths:       lambdas,
+		CapacityBps:       capacity,
+		LatencyClks:       tech.LinkLatencyClks(t),
+		AreaM2:            area,
+		StaticW:           static,
+		DynamicJPerFlit:   dynamic,
+		ModulatorJPerFlit: modJ,
+		SerdesJPerFlit:    serdesJ,
+		ReceiverJPerFlit:  rxJ,
+		AmortJPerFlit:     amortJ,
+		LaserW:            laserW,
+		TuningW:           tuningW,
 	}, nil
 }
 

@@ -252,3 +252,39 @@ func TestPlasmonicSystemLinkIsHopeless(t *testing.T) {
 		t.Errorf("plasmonic 1 mm laser %v W should be ≥1000× HyPPI %v W", s.LaserW, h.LaserW)
 	}
 }
+
+// TestComponentBreakdownSums: the per-component splits introduced for
+// activity-based accounting must reconstruct the headline figures exactly —
+// the energy package multiplies components by measured counts and any gap
+// here would silently skew every measured fJ/bit.
+func TestComponentBreakdownSums(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tc := range tech.Technologies {
+		for _, mm := range []float64{0.5, 1, 3, 15} {
+			lc := MustLink(cfg, tc, mm*units.Millimetre)
+			sum := lc.WireJPerFlit + lc.ModulatorJPerFlit + lc.SerdesJPerFlit +
+				lc.ReceiverJPerFlit + lc.AmortJPerFlit
+			if !units.ApproxEqual(sum, lc.DynamicJPerFlit, 1e-12) {
+				t.Errorf("%v %gmm: component sum %v != DynamicJPerFlit %v", tc, mm, sum, lc.DynamicJPerFlit)
+			}
+			if !units.ApproxEqual(lc.ActivityJPerFlit()+lc.AmortJPerFlit, lc.DynamicJPerFlit, 1e-12) {
+				t.Errorf("%v %gmm: ActivityJPerFlit+Amort %v != DynamicJPerFlit %v",
+					tc, mm, lc.ActivityJPerFlit()+lc.AmortJPerFlit, lc.DynamicJPerFlit)
+			}
+			if tc == tech.Electronic {
+				if lc.ModulatorJPerFlit != 0 || lc.SerdesJPerFlit != 0 || lc.ReceiverJPerFlit != 0 {
+					t.Errorf("electronic link has optical components: %+v", lc)
+				}
+			} else if lc.WireJPerFlit != 0 || lc.ModulatorJPerFlit <= 0 || lc.ReceiverJPerFlit <= 0 {
+				t.Errorf("%v link component split wrong: %+v", tc, lc)
+			}
+		}
+	}
+	for _, ports := range []int{5, 7} {
+		rc := ElectronicRouter(cfg, ports)
+		sum := rc.BufWriteJPerFlit + rc.BufReadJPerFlit + rc.XbarJPerFlit
+		if !units.ApproxEqual(sum, rc.DynamicJPerFlit, 1e-12) {
+			t.Errorf("router %d ports: component sum %v != DynamicJPerFlit %v", ports, sum, rc.DynamicJPerFlit)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/dsent"
+	"repro/internal/noc"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Model holds the per-link and per-router energy coefficients of one built
+// network, folded once so pricing a run is a linear pass over its counters.
+// A Model is immutable after New and safe for concurrent use — sweeps share
+// one instance per design point exactly like networks and routing tables.
+type Model struct {
+	net *topology.Network
+	cfg dsent.Config
+
+	// Per-link coefficients, indexed by topology.LinkID.
+	linkActJ   []float64 // switching-only J per traversal
+	linkDynJ   []float64 // DSENT load-point J per traversal (incl. amortized share)
+	linkModJ   []float64 // E-O modulator + driver share of linkActJ
+	linkRxJ    []float64 // O-E receiver share
+	linkSerdJ  []float64 // SERDES share
+	linkWireJ  []float64 // electronic wire share
+	linkClass  []tech.Technology
+	linkExpr   []bool
+	routerCost dsent.RouterCost // dynamic split is port-independent
+
+	staticW float64
+	static  StaticPower
+	areaM2  float64
+}
+
+// StaticPower decomposes always-on power by component, in watts.
+type StaticPower struct {
+	// LaserW is total laser wall-plug power (sized per link from its
+	// loss budget).
+	LaserW float64
+	// TuningW is microring thermal-trimming power (photonic links only).
+	TuningW float64
+	// SerdesW is serializer/clocking leakage of the optical link
+	// electronics.
+	SerdesW float64
+	// WireLeakW is electronic-link repeater leakage.
+	WireLeakW float64
+	// RouterW is router leakage (clock tree, buffers, drivers).
+	RouterW float64
+}
+
+// TotalW sums the components.
+func (s StaticPower) TotalW() float64 {
+	return s.LaserW + s.TuningW + s.SerdesW + s.WireLeakW + s.RouterW
+}
+
+// NewModel folds the dsent coefficients over a network. Distinct (tech,
+// length) link classes are evaluated once and shared.
+func NewModel(net *topology.Network, cfg dsent.Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nl := len(net.Links)
+	m := &Model{
+		net:       net,
+		cfg:       cfg,
+		linkActJ:  make([]float64, nl),
+		linkDynJ:  make([]float64, nl),
+		linkModJ:  make([]float64, nl),
+		linkRxJ:   make([]float64, nl),
+		linkSerdJ: make([]float64, nl),
+		linkWireJ: make([]float64, nl),
+		linkClass: make([]tech.Technology, nl),
+		linkExpr:  make([]bool, nl),
+	}
+	type key struct {
+		t tech.Technology
+		l float64
+	}
+	costs := map[key]dsent.LinkCost{}
+	for i, l := range net.Links {
+		k := key{l.Tech, l.LengthM}
+		lc, ok := costs[k]
+		if !ok {
+			var err error
+			lc, err = dsent.Link(cfg, l.Tech, l.LengthM)
+			if err != nil {
+				return nil, fmt.Errorf("energy: link %d: %w", i, err)
+			}
+			costs[k] = lc
+		}
+		m.linkActJ[i] = lc.ActivityJPerFlit()
+		m.linkDynJ[i] = lc.DynamicJPerFlit
+		m.linkModJ[i] = lc.ModulatorJPerFlit
+		m.linkRxJ[i] = lc.ReceiverJPerFlit
+		m.linkSerdJ[i] = lc.SerdesJPerFlit
+		m.linkWireJ[i] = lc.WireJPerFlit
+		m.linkClass[i] = l.Tech
+		m.linkExpr[i] = l.Express
+		m.areaM2 += lc.AreaM2
+		m.static.LaserW += lc.LaserW
+		m.static.TuningW += lc.TuningW
+		if l.Tech.IsOptical() {
+			m.static.SerdesW += lc.StaticW - lc.LaserW - lc.TuningW
+		} else {
+			m.static.WireLeakW += lc.StaticW
+		}
+	}
+	routerCosts := map[int]dsent.RouterCost{}
+	for id := 0; id < net.NumNodes(); id++ {
+		ports := net.Ports(topology.NodeID(id))
+		rc, ok := routerCosts[ports]
+		if !ok {
+			rc = dsent.ElectronicRouter(cfg, ports)
+			routerCosts[ports] = rc
+		}
+		m.static.RouterW += rc.StaticW
+		m.areaM2 += rc.AreaM2
+		// The census counts buffer/crossbar events network-wide, which
+		// only prices correctly while the per-flit router energies are
+		// port-independent (true of the dsent model: SRAM access width
+		// and crossbar energy are per flit, not per radix). Refuse to
+		// fold a model that breaks the assumption rather than mispricing.
+		if id > 0 && (rc.BufWriteJPerFlit != m.routerCost.BufWriteJPerFlit ||
+			rc.BufReadJPerFlit != m.routerCost.BufReadJPerFlit ||
+			rc.XbarJPerFlit != m.routerCost.XbarJPerFlit) {
+			return nil, fmt.Errorf("energy: router dynamic energy depends on radix (%d vs %d ports); "+
+				"network-wide census pricing no longer valid", rc.Ports, m.routerCost.Ports)
+		}
+		m.routerCost = rc
+	}
+	m.staticW = m.static.TotalW()
+	return m, nil
+}
+
+// Network returns the network the model was folded over.
+func (m *Model) Network() *topology.Network { return m.net }
+
+// StaticW returns total always-on power in watts.
+func (m *Model) StaticW() float64 { return m.staticW }
+
+// Static returns the always-on power breakdown.
+func (m *Model) Static() StaticPower { return m.static }
+
+// AreaM2 returns total router + link silicon area.
+func (m *Model) AreaM2() float64 { return m.areaM2 }
+
+// DynamicEnergy decomposes a run's switching energy by component, in
+// joules. The link-side components (per-class channel energy) and the
+// conversion/wire split are two views of the same traversals: LinkJ sums
+// to Wire + Modulator + Serdes + Receiver.
+type DynamicEnergy struct {
+	// LinkJ[t] is channel-traversal energy on links of technology t.
+	LinkJ [tech.NumTechnologies]float64
+	// WireJ is the repeated-wire switching share (electronic channels).
+	WireJ float64
+	// ModulatorJ is the E-O conversion share: modulator drive including
+	// the driver chain, one per optical channel traversal.
+	ModulatorJ float64
+	// ReceiverJ is the O-E conversion share: detector TIA + limiting
+	// amp, one per optical channel traversal.
+	ReceiverJ float64
+	// SerdesJ is SERDES switching on optical channel traversals.
+	SerdesJ float64
+	// BufferJ is input-VC SRAM write + read energy in routers.
+	BufferJ float64
+	// CrossbarJ is crossbar traversal + allocation energy.
+	CrossbarJ float64
+	// ExpressJ is the share of link energy riding express channels
+	// (diagnostic; included in LinkJ).
+	ExpressJ float64
+}
+
+// TotalJ sums the non-overlapping components (links + routers).
+func (d DynamicEnergy) TotalJ() float64 {
+	var links float64
+	for _, j := range d.LinkJ {
+		links += j
+	}
+	return links + d.BufferJ + d.CrossbarJ
+}
+
+// RunEnergy is the measured energy accounting of one simulation run.
+type RunEnergy struct {
+	// Cycles and Seconds are the run's simulated extent.
+	Cycles  int64
+	Seconds float64
+	// BitsEjected is the payload delivered, FlitsEjected × FlitBits.
+	BitsEjected float64
+	// Dynamic is the switching-energy breakdown from measured activity.
+	Dynamic DynamicEnergy
+	// DynamicJ is Dynamic.TotalJ().
+	DynamicJ float64
+	// StaticJ is always-on power integrated over the run,
+	// StaticW × Seconds.
+	StaticJ float64
+	// TotalJ = DynamicJ + StaticJ.
+	TotalJ float64
+	// FJPerBit is the run's measured energy per delivered bit in
+	// femtojoules — the paper's headline efficiency axis, measured
+	// instead of estimated.
+	FJPerBit float64
+	// DynamicPowerW and AvgPowerW average the energies over the run.
+	DynamicPowerW, AvgPowerW float64
+	// AmortizedDynamicJ prices the same counters with DSENT's load-point
+	// per-flit convention (always-on power folded in at the reference
+	// utilization) — the figure comparable with core.PriceRun, Table V
+	// and analytic.Evaluate's dynamic watts.
+	AmortizedDynamicJ float64
+}
+
+// Price converts a run's counters into measured energy. It fails when the
+// Stats were produced on a different network shape.
+func (m *Model) Price(st noc.Stats) (RunEnergy, error) {
+	if len(st.LinkFlits) != len(m.linkActJ) {
+		return RunEnergy{}, fmt.Errorf("energy: stats carry %d link counters, network has %d",
+			len(st.LinkFlits), len(m.linkActJ))
+	}
+	if st.Cycles <= 0 {
+		return RunEnergy{}, fmt.Errorf("energy: run spans %d cycles", st.Cycles)
+	}
+	var r RunEnergy
+	r.Cycles = st.Cycles
+	r.Seconds = float64(st.Cycles) / m.cfg.ClockHz
+
+	for i, flits := range st.LinkFlits {
+		if flits == 0 {
+			continue
+		}
+		f := float64(flits)
+		r.Dynamic.LinkJ[m.linkClass[i]] += f * m.linkActJ[i]
+		r.Dynamic.WireJ += f * m.linkWireJ[i]
+		r.Dynamic.ModulatorJ += f * m.linkModJ[i]
+		r.Dynamic.ReceiverJ += f * m.linkRxJ[i]
+		r.Dynamic.SerdesJ += f * m.linkSerdJ[i]
+		if m.linkExpr[i] {
+			r.Dynamic.ExpressJ += f * m.linkActJ[i]
+		}
+		r.AmortizedDynamicJ += f * m.linkDynJ[i]
+	}
+	a := st.Activity
+	rc := m.routerCost
+	r.Dynamic.BufferJ = float64(a.BufferWrites)*rc.BufWriteJPerFlit +
+		float64(a.BufferReads)*rc.BufReadJPerFlit
+	r.Dynamic.CrossbarJ = float64(a.CrossbarTraversals) * rc.XbarJPerFlit
+	// Router flits price identically under both conventions (routers have
+	// no amortized share).
+	r.AmortizedDynamicJ += r.Dynamic.BufferJ + r.Dynamic.CrossbarJ
+
+	r.DynamicJ = r.Dynamic.TotalJ()
+	r.StaticJ = m.staticW * r.Seconds
+	r.TotalJ = r.DynamicJ + r.StaticJ
+	r.BitsEjected = float64(st.FlitsEjected) * float64(m.cfg.FlitBits)
+	if r.BitsEjected > 0 {
+		r.FJPerBit = r.TotalJ / r.BitsEjected / units.Femto
+	}
+	r.DynamicPowerW = r.DynamicJ / r.Seconds
+	r.AvgPowerW = r.TotalJ / r.Seconds
+	return r, nil
+}
+
+// CLEAR is the simulated counterpart of the paper's eq. 2 evaluation: the
+// same figure of merit with latency, utilization and R measured by the
+// cycle-accurate simulator instead of estimated from the traffic matrix.
+type CLEAR struct {
+	// CapabilityGbpsPerNode is ΣC/N from the network (Table III's C).
+	CapabilityGbpsPerNode float64
+	// AvgLatencyClks is the measured average packet latency.
+	AvgLatencyClks float64
+	// PowerW is static power plus the run's dynamic watts priced with
+	// DSENT's load-point convention (see package doc: eq. 2 is defined
+	// with it, which is what makes Value converge to analytic.Evaluate
+	// at zero load).
+	PowerW float64
+	// AreaM2 is total silicon area.
+	AreaM2 float64
+	// AvgUtilization is the measured mean channel utilization
+	// (flit-hops per channel per cycle).
+	AvgUtilization float64
+	// OfferedRate is the r the caller drove the run at (flits/cycle,
+	// peak per node).
+	OfferedRate float64
+	// R is the utilization growth dU/dr = AvgUtilization/OfferedRate.
+	R float64
+	// Value is eq. 2 in the paper's units: Gb/s, clks, W, mm².
+	Value float64
+}
+
+// SimulatedCLEAR evaluates eq. 2 from a run's measured counters at a known
+// offered injection rate (the workload's peak per-node rate in
+// flits/cycle, the analytic path's tm.MaxRowSum). Pass offeredRate <= 0 to
+// fall back to the measured peak source rate — noisier, since the maximum
+// over realized Bernoulli rates is biased upward on short runs.
+func (m *Model) SimulatedCLEAR(st noc.Stats, offeredRate float64) (CLEAR, error) {
+	r, err := m.Price(st)
+	if err != nil {
+		return CLEAR{}, err
+	}
+	if st.PacketsEjected == 0 {
+		return CLEAR{}, fmt.Errorf("energy: CLEAR of a run with no ejected packets")
+	}
+	if offeredRate <= 0 {
+		offeredRate = st.Activity.MaxSourceRate(st.Cycles)
+	}
+	if offeredRate <= 0 {
+		return CLEAR{}, fmt.Errorf("energy: CLEAR needs a positive offered rate")
+	}
+	var hops int64
+	for _, f := range st.LinkFlits {
+		hops += f
+	}
+	c := CLEAR{
+		CapabilityGbpsPerNode: m.net.CapabilityGbpsPerNode(),
+		AvgLatencyClks:        st.AvgPacketLatencyClks,
+		PowerW:                m.staticW + r.AmortizedDynamicJ/r.Seconds,
+		AreaM2:                m.areaM2,
+		AvgUtilization:        float64(hops) / float64(len(m.net.Links)) / float64(st.Cycles),
+		OfferedRate:           offeredRate,
+	}
+	c.R = c.AvgUtilization / offeredRate
+	if c.AvgLatencyClks <= 0 || c.R <= 0 {
+		return CLEAR{}, fmt.Errorf("energy: degenerate CLEAR inputs (latency %v, R %v)",
+			c.AvgLatencyClks, c.R)
+	}
+	c.Value = c.CapabilityGbpsPerNode /
+		(c.AvgLatencyClks * c.PowerW * (c.AreaM2 / units.MillimetreSq) * c.R)
+	return c, nil
+}

@@ -1,0 +1,266 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/dsent"
+	"repro/internal/noc"
+	"repro/internal/routing"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// buildPoint wires a 16×16 design point (the paper's grid).
+func buildPoint(t testing.TB, base, express tech.Technology, hops int) (*topology.Network, *routing.Table) {
+	t.Helper()
+	c := topology.DefaultConfig()
+	c.BaseTech = base
+	c.ExpressTech = express
+	c.ExpressHops = hops
+	net, err := topology.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, routing.MustBuild(net, routing.MonotoneExpress)
+}
+
+// runSoteriou simulates a Bernoulli draw of the Soteriou matrix scaled to
+// the given peak rate.
+func runSoteriou(t testing.TB, net *topology.Network, tab *routing.Table,
+	rate float64, cycles int64, seed int64) noc.Stats {
+	t.Helper()
+	tm := traffic.MustSoteriou(net, traffic.DefaultSoteriou()).ScaledToMaxRate(rate)
+	w := noc.BernoulliWorkload{SizeFlits: 1, Cycles: cycles, Seed: seed}
+	pkts, err := w.Generate(net, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := noc.New(net, tab, noc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestModelMatchesAnalyticStatics: the model's folded static power and
+// area must agree exactly with analytic.Evaluate's — both walk the same
+// dsent components over the same network.
+func TestModelMatchesAnalyticStatics(t *testing.T) {
+	for _, p := range []struct {
+		base, express tech.Technology
+		hops          int
+	}{
+		{tech.Electronic, tech.Electronic, 0},
+		{tech.Electronic, tech.HyPPI, 3},
+		{tech.HyPPI, tech.HyPPI, 3},
+		{tech.Electronic, tech.Photonic, 5},
+	} {
+		net, tab := buildPoint(t, p.base, p.express, p.hops)
+		m, err := NewModel(net, dsent.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := traffic.MustSoteriou(net, traffic.DefaultSoteriou())
+		res, err := analytic.Evaluate(net, tab, tm, analytic.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !units.ApproxEqual(m.StaticW(), res.StaticW, 1e-12) {
+			t.Errorf("%v: model static %v W != analytic %v W", net, m.StaticW(), res.StaticW)
+		}
+		if !units.ApproxEqual(m.AreaM2(), res.AreaM2, 1e-12) {
+			t.Errorf("%v: model area %v != analytic %v", net, m.AreaM2(), res.AreaM2)
+		}
+		if !units.ApproxEqual(m.Static().TotalW(), m.StaticW(), 1e-12) {
+			t.Errorf("%v: static breakdown %v does not sum to %v", net, m.Static(), m.StaticW())
+		}
+	}
+}
+
+// TestPriceBreakdownConsistency: the component views of one run must
+// reconcile — per-class link energy equals the wire/modulator/SERDES/
+// receiver split, the amortized figure reprices the same counters with
+// dsent's DynamicJPerFlit, and every energy is non-negative.
+func TestPriceBreakdownConsistency(t *testing.T) {
+	net, tab := buildPoint(t, tech.Electronic, tech.HyPPI, 3)
+	m, err := NewModel(net, dsent.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runSoteriou(t, net, tab, 0.05, 3000, 17)
+	r, err := m.Price(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var links float64
+	for _, j := range r.Dynamic.LinkJ {
+		links += j
+	}
+	split := r.Dynamic.WireJ + r.Dynamic.ModulatorJ + r.Dynamic.SerdesJ + r.Dynamic.ReceiverJ
+	if !units.ApproxEqual(links, split, 1e-9) {
+		t.Errorf("per-class link energy %v != component split %v", links, split)
+	}
+	if !units.ApproxEqual(r.DynamicJ, links+r.Dynamic.BufferJ+r.Dynamic.CrossbarJ, 1e-9) {
+		t.Errorf("DynamicJ %v != links %v + buffer %v + crossbar %v",
+			r.DynamicJ, links, r.Dynamic.BufferJ, r.Dynamic.CrossbarJ)
+	}
+	if !units.ApproxEqual(r.TotalJ, r.DynamicJ+r.StaticJ, 1e-12) {
+		t.Errorf("TotalJ %v != dynamic %v + static %v", r.TotalJ, r.DynamicJ, r.StaticJ)
+	}
+	if r.Dynamic.LinkJ[tech.HyPPI] <= 0 || r.Dynamic.ModulatorJ <= 0 || r.Dynamic.ReceiverJ <= 0 {
+		t.Errorf("hybrid run should spend HyPPI and conversion energy: %+v", r.Dynamic)
+	}
+	if r.Dynamic.ExpressJ <= 0 || r.Dynamic.ExpressJ > links {
+		t.Errorf("express share %v out of (0, %v]", r.Dynamic.ExpressJ, links)
+	}
+	if r.AmortizedDynamicJ <= r.DynamicJ {
+		t.Errorf("amortized %v should exceed activity-only %v (always-on share)",
+			r.AmortizedDynamicJ, r.DynamicJ)
+	}
+
+	// Reprice by hand with the raw dsent coefficients.
+	var wantAmort float64
+	cfg := dsent.DefaultConfig()
+	for i, l := range net.Links {
+		lc, err := dsent.Link(cfg, l.Tech, l.LengthM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAmort += float64(st.LinkFlits[i]) * lc.DynamicJPerFlit
+	}
+	rc := dsent.ElectronicRouter(cfg, 5)
+	for _, f := range st.RouterFlits {
+		wantAmort += float64(f) * rc.DynamicJPerFlit
+	}
+	if !units.ApproxEqual(r.AmortizedDynamicJ, wantAmort, 1e-9) {
+		t.Errorf("AmortizedDynamicJ %v != hand-priced %v", r.AmortizedDynamicJ, wantAmort)
+	}
+	if r.FJPerBit <= 0 {
+		t.Errorf("FJPerBit %v", r.FJPerBit)
+	}
+}
+
+// TestPriceRejectsForeignStats: counters from a different network shape
+// must be refused, not mispriced.
+func TestPriceRejectsForeignStats(t *testing.T) {
+	net, _ := buildPoint(t, tech.Electronic, tech.Electronic, 0)
+	m, err := NewModel(net, dsent.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Price(noc.Stats{Cycles: 10, LinkFlits: make([]int64, 3)}); err == nil {
+		t.Error("foreign stats priced without error")
+	}
+	if _, err := m.Price(noc.Stats{LinkFlits: make([]int64, len(net.Links))}); err == nil {
+		t.Error("zero-cycle run priced without error")
+	}
+}
+
+// convergencePoint compares the measured accounting against
+// analytic.Evaluate on one design point at a near-zero offered load,
+// returning the relative errors of fJ/bit and CLEAR.
+func convergencePoint(t *testing.T, base, express tech.Technology, hops int) (fjErr, clearErr float64) {
+	t.Helper()
+	const (
+		rate   = 0.005
+		cycles = 60000
+	)
+	net, tab := buildPoint(t, base, express, hops)
+	m, err := NewModel(net, dsent.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.MustSoteriou(net, traffic.DefaultSoteriou()).ScaledToMaxRate(rate)
+	res, err := analytic.Evaluate(net, tab, tm, analytic.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runSoteriou(t, net, tab, rate, cycles, 23)
+	run, err := m.Price(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, err := m.SimulatedCLEAR(st, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic path has no time axis: its fJ/bit is power over
+	// delivered bandwidth at the operating point.
+	deliveredBps := tm.MeanRowSum() * float64(net.NumNodes()) *
+		float64(m.cfg.FlitBits) * m.cfg.ClockHz
+	wantFJ := res.PowerW / deliveredBps / units.Femto
+	fjErr = math.Abs(run.FJPerBit-wantFJ) / wantFJ
+	clearErr = math.Abs(clear.Value-res.CLEAR) / res.CLEAR
+	t.Logf("%v: fJ/bit measured %.4g vs analytic %.4g (%.3f%%), CLEAR %.6g vs %.6g (%.3f%%)",
+		net, run.FJPerBit, wantFJ, 100*fjErr, clear.Value, res.CLEAR, 100*clearErr)
+	return fjErr, clearErr
+}
+
+// TestZeroLoadConvergence pins the subsystem's anchor: at near-zero load
+// the measured fJ/bit and the simulated CLEAR agree with the analytic
+// eq. 2 evaluation within 1% on the paper's Fig. 5 best point (HyPPI mesh
+// + HyPPI express@3) and the Table III hop ladder.
+func TestZeroLoadConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence runs 16×16 simulations; skipped in -short")
+	}
+	points := []struct {
+		name          string
+		base, express tech.Technology
+		hops          int
+	}{
+		{"fig5-best", tech.HyPPI, tech.HyPPI, 3},
+		{"table3-plain", tech.Electronic, tech.HyPPI, 0},
+		{"table3-h3", tech.Electronic, tech.HyPPI, 3},
+		{"table3-h5", tech.Electronic, tech.HyPPI, 5},
+		{"table3-h15", tech.Electronic, tech.HyPPI, 15},
+	}
+	for _, p := range points {
+		t.Run(p.name, func(t *testing.T) {
+			fjErr, clearErr := convergencePoint(t, p.base, p.express, p.hops)
+			if fjErr > 0.01 {
+				t.Errorf("fJ/bit off by %.3f%% (limit 1%%)", 100*fjErr)
+			}
+			if clearErr > 0.01 {
+				t.Errorf("CLEAR off by %.3f%% (limit 1%%)", 100*clearErr)
+			}
+		})
+	}
+}
+
+// TestSimulatedCLEARMeasuredRateFallback: with no offered rate the
+// measured peak source rate stands in, and the result stays within a few
+// percent of the known-rate evaluation on a long run.
+func TestSimulatedCLEARMeasuredRateFallback(t *testing.T) {
+	net, tab := buildPoint(t, tech.Electronic, tech.Electronic, 0)
+	m, err := NewModel(net, dsent.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runSoteriou(t, net, tab, 0.05, 5000, 31)
+	known, err := m.SimulatedCLEAR(st, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := m.SimulatedCLEAR(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured.OfferedRate <= 0 {
+		t.Fatalf("fallback rate %v", measured.OfferedRate)
+	}
+	if ratio := measured.Value / known.Value; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("measured-rate CLEAR %v too far from known-rate %v", measured.Value, known.Value)
+	}
+}

@@ -1,0 +1,112 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// TestActivityCensusInvariants checks the structural identities the energy
+// accounting relies on: at drain every buffered flit was written once and
+// read once through the crossbar (so the three router-side counters agree
+// with each other and with RouterFlits), the per-class link census splits
+// LinkFlits exactly, and the per-source census splits FlitsInjected.
+func TestActivityCensusInvariants(t *testing.T) {
+	for _, hops := range []int{0, 3, 7} {
+		net, tab := smallMesh(t, 8, 8, hops)
+		s := newSim(t, net, tab)
+		if err := s.InjectAll(bernoulliPackets(t, net, "uniform", 0.2, 99)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run()
+		if err != nil {
+			t.Fatalf("hops=%d: %v", hops, err)
+		}
+		a := st.Activity
+
+		var routerFlits int64
+		for _, c := range st.RouterFlits {
+			routerFlits += c
+		}
+		if a.BufferWrites != routerFlits {
+			t.Errorf("hops=%d: BufferWrites %d != ΣRouterFlits %d", hops, a.BufferWrites, routerFlits)
+		}
+		if a.BufferReads != a.BufferWrites {
+			t.Errorf("hops=%d: BufferReads %d != BufferWrites %d", hops, a.BufferReads, a.BufferWrites)
+		}
+		if a.CrossbarTraversals != a.BufferReads {
+			t.Errorf("hops=%d: CrossbarTraversals %d != BufferReads %d", hops, a.CrossbarTraversals, a.BufferReads)
+		}
+
+		var linkFlits, exprFlits int64
+		for i, c := range st.LinkFlits {
+			linkFlits += c
+			if net.Links[i].Express {
+				exprFlits += c
+			}
+		}
+		if got := a.TotalFlitHops(); got != linkFlits {
+			t.Errorf("hops=%d: TotalFlitHops %d != ΣLinkFlits %d", hops, got, linkFlits)
+		}
+		if a.ExpressFlitHops != exprFlits {
+			t.Errorf("hops=%d: ExpressFlitHops %d != express ΣLinkFlits %d", hops, a.ExpressFlitHops, exprFlits)
+		}
+		// Every router traversal is an injection or a link delivery.
+		if want := a.TotalFlitHops() + st.FlitsInjected; a.BufferWrites != want {
+			t.Errorf("hops=%d: BufferWrites %d != hops+injected %d", hops, a.BufferWrites, want)
+		}
+
+		var srcFlits int64
+		for _, c := range a.SourceFlits {
+			srcFlits += c
+		}
+		if srcFlits != st.FlitsInjected {
+			t.Errorf("hops=%d: ΣSourceFlits %d != FlitsInjected %d", hops, srcFlits, st.FlitsInjected)
+		}
+		if rate := a.MaxSourceRate(st.Cycles); rate <= 0 || rate > 1 {
+			t.Errorf("hops=%d: MaxSourceRate %v out of (0,1]", hops, rate)
+		}
+	}
+}
+
+// TestActivityTechClasses: the per-class census keys on the link technology
+// — on a hybrid with HyPPI express channels the HyPPI class counts exactly
+// the express traversals and the electronic class the base-mesh ones.
+func TestActivityTechClasses(t *testing.T) {
+	net, tab := smallMesh(t, 8, 8, 3) // smallMesh wires HyPPI express
+	var wantByTech [tech.NumTechnologies]int64
+	s := newSim(t, net, tab)
+	if err := s.InjectAll(bernoulliPackets(t, net, "tornado", 0.2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range st.LinkFlits {
+		wantByTech[net.Links[i].Tech] += c
+	}
+	if st.Activity.LinkFlitHops != wantByTech {
+		t.Errorf("LinkFlitHops %v != per-tech ΣLinkFlits %v", st.Activity.LinkFlitHops, wantByTech)
+	}
+	if st.Activity.LinkFlitHops[tech.HyPPI] == 0 {
+		t.Error("tornado on the express hybrid should ride HyPPI channels")
+	}
+	if got, want := st.Activity.OpticalFlitHops(), wantByTech[tech.Photonic]+wantByTech[tech.Plasmonic]+wantByTech[tech.HyPPI]; got != want {
+		t.Errorf("OpticalFlitHops %d != optical ΣLinkFlits %d", got, want)
+	}
+}
+
+// TestActivityTechnologiesContiguous guards the indexing contract
+// LinkFlitHops relies on: tech.Technology values are contiguous from zero.
+func TestActivityTechnologiesContiguous(t *testing.T) {
+	if len(tech.Technologies) != tech.NumTechnologies {
+		t.Fatalf("tech.Technologies has %d entries, NumTechnologies is %d",
+			len(tech.Technologies), tech.NumTechnologies)
+	}
+	for i, tc := range tech.Technologies {
+		if int(tc) != i {
+			t.Fatalf("tech.Technologies[%d] = %d, not contiguous", i, int(tc))
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/tech"
 	"repro/internal/topology"
 )
 
@@ -114,6 +115,75 @@ type Stats struct {
 	// RouterFlits[r] counts flits traversing each router (buffer write +
 	// crossbar pass), including injection and ejection.
 	RouterFlits []int64
+	// Activity is the per-class activity census the energy subsystem
+	// folds technology coefficients over.
+	Activity Activity
+}
+
+// Activity counts the microarchitectural events of a run by class — the
+// measured quantities the energy package prices (the paper estimates them
+// from injection rates; the simulator counts them). All counters are plain
+// scalars or fixed arrays updated inline on the hot path, live in the Stats
+// value, and are rewound by Reset exactly like the flit counters, so pooled
+// reuse stays bit-identical.
+type Activity struct {
+	// BufferWrites and BufferReads count input-VC SRAM accesses: one
+	// write when a flit enters a buffer (injection or link delivery), one
+	// read when the switch allocator sends it. At drain the two are equal
+	// and both equal the sum of Stats.RouterFlits.
+	BufferWrites, BufferReads int64
+	// CrossbarTraversals counts switch passes, including the ejection
+	// pass; equals BufferReads at drain (every read feeds the crossbar).
+	CrossbarTraversals int64
+	// LinkFlitHops[t] counts channel traversals per link technology
+	// class (indexed by tech.Technology); the per-class split of the
+	// Stats.LinkFlits total.
+	LinkFlitHops [tech.NumTechnologies]int64
+	// ExpressFlitHops counts traversals riding express channels.
+	ExpressFlitHops int64
+	// SourceFlits[n] counts flits injected by node n, the measured
+	// per-source offered load (max over nodes ÷ cycles is the measured
+	// counterpart of the traffic matrix's MaxRowSum).
+	SourceFlits []int64
+}
+
+// TotalFlitHops sums the per-class channel traversals.
+func (a *Activity) TotalFlitHops() int64 {
+	var sum int64
+	for _, c := range a.LinkFlitHops {
+		sum += c
+	}
+	return sum
+}
+
+// OpticalFlitHops sums the traversals of light-carrying channels. Each is
+// exactly one E-O conversion at the sending router and one O-E conversion
+// at the receiver — links are opaque electronic-terminated hops in the
+// paper's NoC — so this single counter is also the count of modulator
+// drives (E/O) and of detector receptions (O/E).
+func (a *Activity) OpticalFlitHops() int64 {
+	var sum int64
+	for t, c := range a.LinkFlitHops {
+		if tech.Technology(t).IsOptical() {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// MaxSourceRate returns the measured peak per-node injection rate in
+// flits/cycle over a run of the given length (0 for an empty run).
+func (a *Activity) MaxSourceRate(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	var peak int64
+	for _, c := range a.SourceFlits {
+		if c > peak {
+			peak = c
+		}
+	}
+	return float64(peak) / float64(cycles)
 }
 
 // flit is the unit of flow control.
@@ -290,6 +360,11 @@ type Sim struct {
 	linkDst   []int32
 	linkSrc   []int32
 	linkLat   []int32
+	// linkClass[l] is the link's technology (for the per-class activity
+	// census) and linkExpr[l] marks express channels; both cached flat so
+	// the send path never chases into net.Links.
+	linkClass []int8
+	linkExpr  []bool
 
 	// calendar[c % len] lists the flits arriving at cycle c. Sized to
 	// exceed the largest possible send-to-arrival delay (1 cycle switch
@@ -372,6 +447,8 @@ func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
 		linkDst:    make([]int32, nl),
 		linkSrc:    make([]int32, nl),
 		linkLat:    make([]int32, nl),
+		linkClass:  make([]int8, nl),
+		linkExpr:   make([]bool, nl),
 		sources:    make([][]int32, n),
 		srcPos:     make([]int, n),
 		srcFlit:    make([]int32, n),
@@ -382,6 +459,7 @@ func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
 	}
 	s.stats.LinkFlits = make([]int64, nl)
 	s.stats.RouterFlits = make([]int64, n)
+	s.stats.Activity.SourceFlits = make([]int64, n)
 	s.classed = net.HasDateline()
 	// Class 1 (post-wrap) packets are the rare case: give them the top
 	// VC only and keep the rest for class 0, minimizing the partition
@@ -492,6 +570,8 @@ func New(net *topology.Network, tab *routing.Table, cfg Config) (*Sim, error) {
 		s.linkDst[i] = int32(l.Dst)
 		s.linkSrc[i] = int32(l.Src)
 		s.linkLat[i] = int32(l.LatencyClks)
+		s.linkClass[i] = int8(l.Tech)
+		s.linkExpr[i] = l.Express
 		if l.LatencyClks > maxLat {
 			maxLat = l.LatencyClks
 		}
@@ -557,6 +637,7 @@ func (s *Sim) Reset() {
 		LinkFlits:   make([]int64, len(s.net.Links)),
 		RouterFlits: make([]int64, s.net.NumNodes()),
 	}
+	s.stats.Activity.SourceFlits = make([]int64, s.net.NumNodes())
 	s.latSum = 0
 	s.latencies.Reset()
 	s.credits = s.credits[:0]
@@ -696,6 +777,7 @@ func (s *Sim) deliverLinkArrivals() {
 		vc := &r.in[port*vcs+int(e.f.vc)]
 		vc.q.push(bufEntry{f: e.f, ready: ready})
 		s.stats.RouterFlits[dst]++
+		s.stats.Activity.BufferWrites++
 		s.buffered[dst]++
 		s.totalBuf++
 		s.inflight--
@@ -778,6 +860,8 @@ func (s *Sim) injectNode(node int) {
 	vc.q.push(bufEntry{f: f, ready: s.now + int64(s.cfg.PipelineClks) - 1})
 	s.stats.FlitsInjected++
 	s.stats.RouterFlits[node]++
+	s.stats.Activity.BufferWrites++
+	s.stats.Activity.SourceFlits[node]++
 	s.buffered[node]++
 	s.totalBuf++
 	s.activateRouter(int32(node))
@@ -976,6 +1060,8 @@ func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 	e := vc.q.pop()
 	out := &r.out[op]
 	r.inSAPtr[port] = int32(v + 1)
+	s.stats.Activity.BufferReads++
+	s.stats.Activity.CrossbarTraversals++
 	s.buffered[rid]--
 	s.totalBuf--
 	if s.buffered[rid] == 0 {
@@ -1021,6 +1107,10 @@ func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 		s.calendar[bi] = append(s.calendar[bi], arrival{f: f, lid: int32(lid)})
 		out.credits[vc.outVC]--
 		s.stats.LinkFlits[lid]++
+		s.stats.Activity.LinkFlitHops[s.linkClass[lid]]++
+		if s.linkExpr[lid] {
+			s.stats.Activity.ExpressFlitHops++
+		}
 		s.inflight++
 		if e.f.head {
 			s.pkts[e.f.pkt].hops++

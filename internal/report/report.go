@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"repro/internal/core"
@@ -119,7 +120,7 @@ func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
 	for _, r := range results {
 		for _, p := range r.Curve {
 			if err := cw.Write([]string{
-				sweepKind(r), r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
+				sweepKind(r.Kind), r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
 				r.Pattern,
 				f(p.InjectionRate), f(p.AvgLatencyClks), f(p.P99LatencyClks),
 				strconv.FormatBool(p.Saturated),
@@ -135,25 +136,28 @@ func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
 
 // sweepKind names a sweep row's topology kind, defaulting legacy rows
 // (fabricated results with a zero Kind) to mesh.
-func sweepKind(r core.PatternSweepResult) string {
-	if r.Kind == "" {
+func sweepKind(k topology.Kind) string {
+	if k == "" {
 		return string(topology.Mesh)
 	}
-	return string(r.Kind)
+	return string(k)
 }
 
 // SaturationTable renders the per-pattern saturation summary as an
 // aligned text table: one row per (topology kind, design point, pattern)
 // with the zero-load latency and the latency-knee saturation throughput
-// ("-" when the design never saturates within the swept range).
+// ("-" when the design never saturates within the swept range). The
+// numeric columns are right-aligned so magnitudes stay comparable next to
+// design-point labels of any length.
 func SaturationTable(results []core.PatternSweepResult) string {
-	tbl := stats.NewTable("topology", "design point", "pattern", "zero-load (clk)", "saturation (flits/clk)")
+	tbl := stats.NewTable("topology", "design point", "pattern", "zero-load (clk)", "saturation (flits/clk)").
+		AlignRight(3, 4)
 	for _, r := range results {
 		sat := "-"
 		if r.Saturates {
 			sat = strconv.FormatFloat(r.SaturationRate, 'g', 4, 64)
 		}
-		tbl.AddRow(sweepKind(r), r.PointLabel(), r.Pattern,
+		tbl.AddRow(sweepKind(r.Kind), r.PointLabel(), r.Pattern,
 			strconv.FormatFloat(r.ZeroLoadLatencyClks(), 'f', 1, 64), sat)
 	}
 	return tbl.String()
@@ -164,7 +168,8 @@ func SaturationTable(results []core.PatternSweepResult) string {
 // structural figures the kinds differ on and the CLEAR ingredients.
 func KindComparisonTable(results []core.KindExploration) string {
 	tbl := stats.NewTable("kind", "base", "chans", "maxports",
-		"C (Gb/s)", "lat(clk)", "power(W)", "R", "CLEAR")
+		"C (Gb/s)", "lat(clk)", "power(W)", "R", "CLEAR").
+		AlignRight(2, 3, 4, 5, 6, 7, 8)
 	for _, r := range results {
 		tbl.AddRow(string(r.Kind), r.Point.Base.String(),
 			strconv.Itoa(r.Channels), strconv.Itoa(r.MaxPorts),
@@ -173,6 +178,133 @@ func KindComparisonTable(results []core.KindExploration) string {
 			strconv.FormatFloat(r.PowerW, 'f', 3, 64),
 			strconv.FormatFloat(r.R, 'f', 3, 64),
 			strconv.FormatFloat(r.CLEAR, 'f', 4, 64))
+	}
+	return tbl.String()
+}
+
+// WriteEnergySweep emits the measured latency–energy dataset: one row per
+// (topology kind, design point, pattern, offered rate) sample with the
+// full component energy breakdown, the simulated CLEAR and the Pareto
+// frontier mark.
+func WriteEnergySweep(w io.Writer, results []core.EnergySweepResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"topology", "base", "express", "hops", "pattern", "injection_rate",
+		"saturated", "avg_latency_clks", "p99_latency_clks", "cycles",
+		"fj_per_bit", "dynamic_j", "static_j", "total_j", "avg_power_w",
+	}
+	for _, t := range tech.Technologies {
+		header = append(header, "link_j_"+t.String())
+	}
+	header = append(header,
+		"buffer_j", "crossbar_j", "modulator_j", "receiver_j", "serdes_j",
+		"wire_j", "express_j", "amortized_dynamic_j",
+		"clear_sim", "r_sim", "avg_utilization", "pareto",
+	)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.Points {
+			row := []string{
+				sweepKind(r.Kind),
+				r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
+				r.Pattern, f(p.Rate),
+				strconv.FormatBool(p.Saturated), f(p.AvgLatencyClks), f(p.P99LatencyClks),
+				strconv.FormatInt(p.Run.Cycles, 10),
+				f(p.Run.FJPerBit), f(p.Run.DynamicJ), f(p.Run.StaticJ), f(p.Run.TotalJ),
+				f(p.Run.AvgPowerW),
+			}
+			for _, t := range tech.Technologies {
+				row = append(row, f(p.Run.Dynamic.LinkJ[t]))
+			}
+			row = append(row,
+				f(p.Run.Dynamic.BufferJ), f(p.Run.Dynamic.CrossbarJ),
+				f(p.Run.Dynamic.ModulatorJ), f(p.Run.Dynamic.ReceiverJ),
+				f(p.Run.Dynamic.SerdesJ), f(p.Run.Dynamic.WireJ), f(p.Run.Dynamic.ExpressJ),
+				f(p.Run.AmortizedDynamicJ),
+				f(p.CLEAR.Value), f(p.CLEAR.R), f(p.CLEAR.AvgUtilization),
+				strconv.FormatBool(p.Pareto),
+			)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// EnergyTable renders the measured latency–energy matrix as an aligned
+// text table: one row per drained (kind, design point, pattern, rate)
+// sample, frontier rows marked with '*' ("drained" — saturated rates
+// render a dash row instead of numbers).
+func EnergyTable(results []core.EnergySweepResult) string {
+	tbl := stats.NewTable("topology", "design point", "pattern", "rate",
+		"lat(clk)", "fJ/bit", "dyn(µJ)", "power(W)", "CLEAR", "front").
+		AlignRight(3, 4, 5, 6, 7, 8)
+	for _, r := range results {
+		for _, p := range r.Points {
+			if p.Saturated {
+				tbl.AddRow(string(r.Kind), r.PointLabel(), r.Pattern,
+					strconv.FormatFloat(p.Rate, 'g', 4, 64), "-", "-", "-", "-", "-", "")
+				continue
+			}
+			mark := ""
+			if p.Pareto {
+				mark = "*"
+			}
+			tbl.AddRow(string(r.Kind), r.PointLabel(), r.Pattern,
+				strconv.FormatFloat(p.Rate, 'g', 4, 64),
+				strconv.FormatFloat(p.AvgLatencyClks, 'f', 1, 64),
+				strconv.FormatFloat(p.Run.FJPerBit, 'f', 0, 64),
+				strconv.FormatFloat(p.Run.DynamicJ*1e6, 'f', 3, 64),
+				strconv.FormatFloat(p.Run.AvgPowerW, 'f', 3, 64),
+				strconv.FormatFloat(p.CLEAR.Value, 'f', 4, 64),
+				mark)
+		}
+	}
+	return tbl.String()
+}
+
+// ParetoTable renders only the latency–energy frontier: for each
+// (kind, pattern) scenario the non-dominated samples across all competing
+// design points, in ascending latency order (energy therefore descends —
+// the shape of the trade-off curve read top to bottom).
+func ParetoTable(results []core.EnergySweepResult) string {
+	type row struct {
+		kind          string
+		point         string
+		pattern       string
+		rate, lat, fj float64
+		clear         float64
+	}
+	var rows []row
+	for _, r := range results {
+		for _, p := range r.Points {
+			if p.Pareto {
+				rows = append(rows, row{string(r.Kind), r.PointLabel(), r.Pattern,
+					p.Rate, p.AvgLatencyClks, p.Run.FJPerBit, p.CLEAR.Value})
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].kind != rows[j].kind {
+			return rows[i].kind < rows[j].kind
+		}
+		if rows[i].pattern != rows[j].pattern {
+			return rows[i].pattern < rows[j].pattern
+		}
+		return rows[i].lat < rows[j].lat
+	})
+	tbl := stats.NewTable("topology", "pattern", "design point", "rate",
+		"lat(clk)", "fJ/bit", "CLEAR").AlignRight(3, 4, 5, 6)
+	for _, r := range rows {
+		tbl.AddRow(r.kind, r.pattern, r.point,
+			strconv.FormatFloat(r.rate, 'g', 4, 64),
+			strconv.FormatFloat(r.lat, 'f', 1, 64),
+			strconv.FormatFloat(r.fj, 'f', 0, 64),
+			strconv.FormatFloat(r.clear, 'f', 4, 64))
 	}
 	return tbl.String()
 }

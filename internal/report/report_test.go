@@ -168,3 +168,113 @@ func TestSaturationTable(t *testing.T) {
 		t.Errorf("unsaturated row should show '-': %q", last)
 	}
 }
+
+// TestSaturationTableGoldenRendering pins the exact rendering against long
+// topology and pattern names: numeric columns right-align against their
+// column edge whatever the width of the label columns, and no line carries
+// trailing padding.
+func TestSaturationTableGoldenRendering(t *testing.T) {
+	long := core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}
+	results := []core.PatternSweepResult{
+		{Kind: "extremely-long-topology-name", Point: long, Pattern: "hotspot-memory-controllers",
+			Curve:          []noc.LoadPoint{{InjectionRate: 0.05, AvgLatencyClks: 23.4}},
+			SaturationRate: 0.35, Saturates: true},
+		{Point: core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
+			Pattern: "uniform",
+			Curve:   []noc.LoadPoint{{InjectionRate: 0.05, AvgLatencyClks: 123.4}}},
+	}
+	want := strings.Join([]string{
+		"topology                      design point                  pattern                     zero-load (clk)  saturation (flits/clk)",
+		"----------------------------  ----------------------------  --------------------------  ---------------  ----------------------",
+		"extremely-long-topology-name  Electronic + HyPPI express@3  hotspot-memory-controllers             23.4                    0.35",
+		"mesh                          Electronic mesh               uniform                               123.4                       -",
+		"",
+	}, "\n")
+	if got := SaturationTable(results); got != want {
+		t.Errorf("rendering drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// energySweepResults fabricates a small measured sweep for writer tests.
+func energySweepResults() []core.EnergySweepResult {
+	mesh := core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}
+	hybrid := core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}
+	mk := func(rate, lat, fj float64, pareto bool) core.EnergyPoint {
+		p := core.EnergyPoint{Rate: rate, AvgLatencyClks: lat, P99LatencyClks: 2 * lat, Pareto: pareto}
+		p.Run.Cycles = 5000
+		p.Run.Seconds = 5000 / 0.78125e9
+		p.Run.FJPerBit = fj
+		p.Run.DynamicJ = 1e-6
+		p.Run.StaticJ = 9e-6
+		p.Run.TotalJ = 1e-5
+		p.Run.AvgPowerW = 1.5
+		p.CLEAR.Value = 0.1
+		p.CLEAR.R = 1.1
+		return p
+	}
+	return []core.EnergySweepResult{
+		{Kind: topology.Mesh, Point: mesh, Pattern: "tornado", StaticW: 1.5, AreaM2: 2e-5,
+			Points: []core.EnergyPoint{mk(0.05, 40, 60000, false), {Rate: 0.5, Saturated: true}}},
+		{Kind: topology.Mesh, Point: hybrid, Pattern: "tornado", StaticW: 1.6, AreaM2: 2e-5,
+			Points: []core.EnergyPoint{mk(0.05, 30, 55000, true)}},
+	}
+}
+
+func TestWriteEnergySweep(t *testing.T) {
+	results := energySweepResults()
+	var buf bytes.Buffer
+	if err := WriteEnergySweep(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Check(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Errorf("CSV rows %d, want 3", rows)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "topology,base,express,hops,pattern,injection_rate,saturated,") {
+		t.Errorf("header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	for _, col := range []string{"fj_per_bit", "link_j_HyPPI", "modulator_j", "clear_sim", "pareto"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("column %q missing from header", col)
+		}
+	}
+	if !strings.Contains(out, "true") || !strings.Contains(out, "tornado") {
+		t.Error("rows missing saturation/pattern data")
+	}
+}
+
+func TestEnergyAndParetoTables(t *testing.T) {
+	results := energySweepResults()
+	etbl := EnergyTable(results)
+	if !strings.Contains(etbl, "fJ/bit") || !strings.Contains(etbl, "60000") {
+		t.Errorf("energy table missing data:\n%s", etbl)
+	}
+	if !strings.Contains(etbl, "*") {
+		t.Errorf("energy table missing frontier mark:\n%s", etbl)
+	}
+	// The saturated rate renders dashes, not numbers.
+	var satLine string
+	for _, l := range strings.Split(etbl, "\n") {
+		if strings.Contains(l, "0.5") {
+			satLine = l
+		}
+	}
+	if !strings.Contains(satLine, "-") {
+		t.Errorf("saturated row should dash out: %q", satLine)
+	}
+
+	ptbl := ParetoTable(results)
+	// Only the dominated plain-mesh sample (latency 40) drops out.
+	if !strings.Contains(ptbl, "HyPPI express@3") || strings.Contains(ptbl, "40.0") {
+		t.Errorf("pareto table should keep only frontier rows:\n%s", ptbl)
+	}
+	for i, l := range strings.Split(etbl+ptbl, "\n") {
+		if l != strings.TrimRight(l, " ") {
+			t.Errorf("line %d has trailing padding: %q", i, l)
+		}
+	}
+}

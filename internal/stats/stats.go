@@ -205,15 +205,31 @@ func (h *Histogram) Render(width int) string {
 	return b.String()
 }
 
-// Table renders aligned plain-text tables for the CLI tools.
+// Table renders aligned plain-text tables for the CLI tools. Columns are
+// left-aligned by default; numeric columns should be right-aligned (see
+// AlignRight) so magnitudes line up whatever the width of the name columns
+// beside them.
 type Table struct {
 	header []string
 	rows   [][]string
+	right  []bool
 }
 
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table {
-	return &Table{header: header}
+	return &Table{header: header, right: make([]bool, len(header))}
+}
+
+// AlignRight marks columns (0-based) as right-aligned and returns the
+// table for chaining: NewTable("name", "W").AlignRight(1). Out-of-range
+// columns are ignored.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.right) {
+			t.right[c] = true
+		}
+	}
+	return t
 }
 
 // AddRow appends a row; short rows are padded with empty cells.
@@ -223,7 +239,9 @@ func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, row)
 }
 
-// String renders the table with column alignment.
+// String renders the table with column alignment. Lines never carry
+// trailing padding: the last cell of a row ends the line (diff- and
+// golden-test-friendly).
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
@@ -237,14 +255,23 @@ func (t *Table) String() string {
 		}
 	}
 	var b strings.Builder
+	var line strings.Builder
 	writeRow := func(cells []string) {
+		line.Reset()
 		for i, c := range cells {
 			if i > 0 {
-				b.WriteString("  ")
+				line.WriteString("  ")
 			}
-			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+			pad := strings.Repeat(" ", widths[i]-len([]rune(c)))
+			if t.right[i] {
+				line.WriteString(pad)
+				line.WriteString(c)
+			} else {
+				line.WriteString(c)
+				line.WriteString(pad)
+			}
 		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
 		b.WriteString("\n")
 	}
 	writeRow(t.header)

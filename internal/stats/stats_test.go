@@ -195,3 +195,28 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("misaligned column:\n%s", out)
 	}
 }
+
+// TestTableAlignment: right-aligned columns line their cells up against
+// the column's right edge, and no rendered line carries trailing padding
+// whatever the alignment of the last column.
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value", "note").AlignRight(1)
+	tb.AddRow("a-very-long-name", "7.5", "x")
+	tb.AddRow("b", "1234.0", "")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Right edge of "value" column is fixed: both numbers end at the
+	// same offset.
+	end0 := strings.Index(lines[2], "7.5") + len("7.5")
+	end1 := strings.Index(lines[3], "1234.0") + len("1234.0")
+	if end0 != end1 {
+		t.Errorf("right-aligned column edges differ (%d vs %d):\n%s", end0, end1, out)
+	}
+	for i, l := range lines {
+		if l != strings.TrimRight(l, " ") {
+			t.Errorf("line %d has trailing padding: %q", i, l)
+		}
+	}
+	// Out-of-range AlignRight columns are ignored, not a panic.
+	NewTable("x").AlignRight(-1, 5).AddRow("v")
+}

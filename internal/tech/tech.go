@@ -35,6 +35,11 @@ const (
 	HyPPI
 )
 
+// NumTechnologies is the number of defined technologies; Technology values
+// are contiguous in [0, NumTechnologies), so fixed-size per-technology
+// counter arrays (see noc.Activity) can be indexed by Technology directly.
+const NumTechnologies = 4
+
 // Technologies lists all four options in presentation order.
 var Technologies = []Technology{Electronic, Photonic, Plasmonic, HyPPI}
 

@@ -136,7 +136,8 @@ func KindSpecs() []*KindSpec {
 
 // ParseKinds resolves a comma-separated list of registry names; the single
 // token "all" selects the whole registry. Duplicates are dropped, keeping
-// the first occurrence.
+// the first occurrence. Every error names the registered kinds, so CLI
+// users can self-serve from the message.
 func ParseKinds(spec string) ([]Kind, error) {
 	if strings.EqualFold(strings.TrimSpace(spec), "all") {
 		return Kinds(), nil
@@ -158,7 +159,8 @@ func ParseKinds(spec string) ([]Kind, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("topology: empty kind list %q", spec)
+		return nil, fmt.Errorf("topology: empty kind list %q (registered: %s, or \"all\")",
+			spec, strings.Join(Names(), ", "))
 	}
 	return out, nil
 }

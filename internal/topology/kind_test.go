@@ -246,3 +246,23 @@ func TestKindCapability(t *testing.T) {
 			mesh.CapabilityGbpsPerNode(), torus.CapabilityGbpsPerNode(), fb.CapabilityGbpsPerNode())
 	}
 }
+
+// TestKindParseErrorsListRegisteredNames: unknown-name and empty-list
+// errors from ParseKinds must name every registered kind, so a CLI user
+// can correct the flag from the message alone.
+func TestKindParseErrorsListRegisteredNames(t *testing.T) {
+	for _, spec := range []string{"bogus", "mesh,bogus", " , "} {
+		_, err := ParseKinds(spec)
+		if err == nil {
+			t.Fatalf("ParseKinds(%q) should fail", spec)
+		}
+		for _, name := range Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ParseKinds(%q) error omits registered kind %q: %v", spec, name, err)
+			}
+		}
+	}
+	if _, err := LookupKind("bogus"); err == nil || !strings.Contains(err.Error(), "torus") {
+		t.Errorf("LookupKind error should list names: %v", err)
+	}
+}

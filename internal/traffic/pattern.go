@@ -92,7 +92,8 @@ func Patterns() []Pattern {
 }
 
 // ParsePatterns resolves a comma-separated list of registry names; the
-// single token "all" selects the whole registry.
+// single token "all" selects the whole registry. Every error names the
+// registered patterns, so CLI users can self-serve from the message.
 func ParsePatterns(spec string) ([]Pattern, error) {
 	if strings.EqualFold(strings.TrimSpace(spec), "all") {
 		return Patterns(), nil
@@ -110,7 +111,8 @@ func ParsePatterns(spec string) ([]Pattern, error) {
 		out = append(out, p)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("traffic: empty pattern list %q", spec)
+		return nil, fmt.Errorf("traffic: empty pattern list %q (registered: %s, or \"all\")",
+			spec, strings.Join(Names(), ", "))
 	}
 	return out, nil
 }

@@ -357,3 +357,23 @@ func TestConstructorsMatchRegistry(t *testing.T) {
 		}
 	}
 }
+
+// TestParseErrorsListRegisteredNames: unknown-name and empty-list errors
+// from ParsePatterns must name every registered pattern, so a CLI user can
+// correct the flag from the message alone.
+func TestParseErrorsListRegisteredNames(t *testing.T) {
+	for _, spec := range []string{"bogus", "tornado,bogus", " , ", ""} {
+		_, err := ParsePatterns(spec)
+		if err == nil {
+			t.Fatalf("ParsePatterns(%q) should fail", spec)
+		}
+		for _, name := range Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ParsePatterns(%q) error omits registered pattern %q: %v", spec, name, err)
+			}
+		}
+	}
+	if _, err := Lookup("bogus"); err == nil || !strings.Contains(err.Error(), "uniform") {
+		t.Errorf("Lookup error should list names: %v", err)
+	}
+}
