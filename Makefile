@@ -8,7 +8,9 @@
 #   make bench         — regenerate every paper table/figure as benchmarks
 #   make bench-compare — run the benchmarks and diff them against BENCH_baseline.txt
 #   make golden        — rewrite internal/core/testdata/golden.json from HEAD
+#   make golden-serve  — rewrite the internal/serve golden protocol files from HEAD
 #   make examples-smoke — build and run every examples/ binary (output discarded)
+#   make serve-smoke   — hyppi-serve selftest: sustained q/s + cache hit-rate gate
 
 GO ?= go
 
@@ -16,7 +18,7 @@ GO ?= go
 # pinned baseline.
 BENCH_OUT ?= /tmp/hyppi-bench-current.txt
 
-.PHONY: ci vet test short race fmt-check bench bench-compare golden examples-smoke
+.PHONY: ci vet test short race fmt-check bench bench-compare golden golden-serve examples-smoke serve-smoke
 
 # Ordered so the cheapest gates fail first: vet (seconds), short
 # (seconds), race-short (tens of seconds), then the full suite.
@@ -54,6 +56,9 @@ bench-compare:
 golden:
 	$(GO) test ./internal/core -run TestGolden -update
 
+golden-serve:
+	$(GO) test ./internal/serve -run TestGolden -update
+
 # Every example is a standalone demo of one experiment family; running
 # each to completion (output discarded, failures loud) keeps them from
 # bit-rotting as the library underneath them moves.
@@ -62,3 +67,9 @@ examples-smoke:
 		echo "== go run ./$$d"; \
 		$(GO) run "./$$d" > /dev/null; \
 	done
+
+# The serving gate: replay the built-in mixed workload through an
+# in-process engine and fail under 50 q/s sustained or 50% cache hits
+# (the 1-CPU CI container clears both with an order of magnitude to spare).
+serve-smoke:
+	$(GO) run ./cmd/hyppi-serve -selftest -queries 120 -clients 8 -min-qps 50 -min-hit 0.5

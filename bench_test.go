@@ -24,6 +24,8 @@ import (
 	"repro/internal/optical"
 	"repro/internal/routing"
 	"repro/internal/runner"
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -565,4 +567,27 @@ func BenchmarkExtensionLoadLatency(b *testing.B) {
 	}
 	b.ReportMetric(low, "latency_r0.05_clks")
 	b.ReportMetric(mid, "latency_r0.35_clks")
+}
+
+// BenchmarkServeThroughput measures the simulation-as-a-service layer end
+// to end: a fresh engine per iteration answers the standard 120-query
+// mixed workload (12 distinct queries cycled, so cold evaluation plus
+// cache/dedup serving), reporting the sustained rate and hit share — the
+// quantities the serve-smoke CI gate bounds.
+func BenchmarkServeThroughput(b *testing.B) {
+	var qps, hitPct float64
+	for i := 0; i < b.N; i++ {
+		eng := serve.NewEngine(serve.Config{Workers: runtime.GOMAXPROCS(0)})
+		rep, err := loadtest.Run(context.Background(), eng, loadtest.Config{Queries: 120, Clients: 8})
+		eng.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed > 0 {
+			b.Fatalf("%d queries failed: %+v", rep.Failed, rep)
+		}
+		qps, hitPct = rep.QPS, 100*rep.HitRate
+	}
+	b.ReportMetric(qps, "queries/s")
+	b.ReportMetric(hitPct, "hit_%")
 }

@@ -59,6 +59,15 @@ import (
 	"repro/internal/traffic"
 )
 
+// Flag usage strings are package level so the usage test can assert every
+// registered pattern and kind name is discoverable from -h.
+var (
+	patternUsage = "comma-separated synthetic patterns to saturation-sweep (" +
+		strings.Join(traffic.Names(), ", ") + "), or \"all\""
+	topologyUsage = "comma-separated topology kinds to cross-compare (" +
+		strings.Join(topology.Names(), ", ") + "), or \"all\""
+)
+
 func main() {
 	os.Exit(run())
 }
@@ -68,12 +77,8 @@ func run() int {
 	rate := flag.Float64("rate", 0.1, "maximum per-node injection rate (flits/cycle)")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	policy := flag.String("policy", "monotone", "routing policy: monotone or shortest")
-	patterns := flag.String("patterns", "",
-		"comma-separated synthetic patterns to saturation-sweep ("+
-			strings.Join(traffic.Names(), ", ")+"), or \"all\"")
-	topoFlag := flag.String("topology", "",
-		"comma-separated topology kinds to cross-compare ("+
-			strings.Join(topology.Names(), ", ")+"), or \"all\"")
+	patterns := flag.String("patterns", "", patternUsage)
+	topoFlag := flag.String("topology", "", topologyUsage)
 	energyFlag := flag.Bool("energy", false,
 		"follow the exploration with a measured latency–energy sweep "+
 			"(activity-based fJ/bit, simulated CLEAR, Pareto fronts)")

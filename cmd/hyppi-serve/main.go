@@ -1,0 +1,129 @@
+// Command hyppi-serve exposes the simulator as a long-lived estimation
+// service: clients submit {topology, design point, pattern|kernel, load,
+// want} queries as JSON lines and get back deterministic latency / CLEAR /
+// energy estimates. The engine (internal/serve) answers from a keyed
+// result cache with single-flight dedup of identical in-flight queries,
+// coalesces queued distinct queries into micro-batches on the pooled
+// runner, and rejects with queue_full (HTTP 429) beyond its queue depth.
+//
+// Usage:
+//
+//	echo '{"pattern":"uniform","load":0.05}' | hyppi-serve
+//	hyppi-serve -http :8080 &
+//	curl -d '{"pattern":"tornado","load":0.1,"want":"clear"}' localhost:8080/query
+//	curl localhost:8080/stats
+//	hyppi-serve -selftest -queries 120 -clients 8 -min-qps 50 -min-hit 0.5
+//
+// Without -http, hyppi-serve speaks the JSON-lines protocol on
+// stdin/stdout (the BookSim2-style cosimulation interface): one request
+// per line, one response line per request, in request order. With -http
+// it serves POST /query, GET /stats and GET /healthz instead.
+//
+// -selftest replays the built-in mixed workload through an in-process
+// engine and reports sustained queries/sec and cache hit rate, failing
+// when either lands under its -min bound — the serve-smoke CI gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Flag usage strings are package level so the usage test can assert every
+// registered pattern and kind name is discoverable from -h.
+var (
+	patternUsage = "queries name a synthetic pattern (" +
+		strings.Join(traffic.Names(), ", ") + ") or an NPB kernel trace"
+	topologyUsage = "queries pick a topology kind: " +
+		strings.Join(topology.Names(), ", ") + " (default mesh)"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	httpAddr := flag.String("http", "", "serve HTTP on this address instead of stdio (e.g. :8080)")
+	workers := flag.Int("workers", 0, "evaluation pool size per batch (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", serve.DefaultQueueDepth, "pending-evaluation queue depth (backpressure bound)")
+	maxBatch := flag.Int("batch", serve.DefaultMaxBatch, "max queries coalesced into one evaluation batch")
+	maxNodes := flag.Int("max-nodes", serve.DefaultMaxNodes, "largest width*height a query may ask for")
+	inFlight := flag.Int("in-flight", serve.DefaultMaxInFlight, "stdio mode: max request lines answered concurrently")
+	selftest := flag.Bool("selftest", false, "replay the built-in workload and report q/s + hit rate")
+	queries := flag.Int("queries", 120, "selftest: total queries")
+	clients := flag.Int("clients", 8, "selftest: concurrent clients")
+	targetQPS := flag.Float64("qps", 0, "selftest: offered rate (0 = as fast as possible)")
+	minQPS := flag.Float64("min-qps", 0, "selftest: fail under this sustained rate")
+	minHit := flag.Float64("min-hit", 0, "selftest: fail under this cache hit rate")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: hyppi-serve [flags]\n\nJSON-lines simulation service; %s;\n%s.\n\n",
+			patternUsage, topologyUsage)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := serve.DefaultEngineConfig()
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queueDepth
+	cfg.MaxBatch = *maxBatch
+	cfg.MaxNodes = *maxNodes
+	engine := serve.NewEngine(cfg)
+	defer engine.Close()
+
+	switch {
+	case *selftest:
+		rep, err := loadtest.Run(context.Background(), engine, loadtest.Config{
+			Queries: *queries, Clients: *clients, TargetQPS: *targetQPS,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
+			return 1
+		}
+		fmt.Println(rep)
+		if rep.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "hyppi-serve: selftest: %d queries failed\n", rep.Failed)
+			return 1
+		}
+		if *minQPS > 0 && rep.QPS < *minQPS {
+			fmt.Fprintf(os.Stderr, "hyppi-serve: selftest: %.1f q/s under the %.1f q/s floor\n", rep.QPS, *minQPS)
+			return 1
+		}
+		if *minHit > 0 && rep.HitRate < *minHit {
+			fmt.Fprintf(os.Stderr, "hyppi-serve: selftest: hit rate %.2f under the %.2f floor\n", rep.HitRate, *minHit)
+			return 1
+		}
+		return 0
+
+	case *httpAddr != "":
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "hyppi-serve: listening on http://%s (POST /query, GET /stats, GET /healthz)\n",
+			ln.Addr())
+		if err := http.Serve(ln, engine.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
+			return 1
+		}
+		return 0
+
+	default:
+		if err := engine.ServeLines(context.Background(), os.Stdin, os.Stdout, *inFlight); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
+			return 1
+		}
+		return 0
+	}
+}

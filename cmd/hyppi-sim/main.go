@@ -57,6 +57,15 @@ import (
 // sweepHops are the express hop lengths of the Fig. 6 comparison.
 var sweepHops = []int{0, 3, 5, 15}
 
+// Flag usage strings are package level so the usage test can assert every
+// registered pattern and kind name is discoverable from -h.
+var (
+	patternUsage = "synthetic pattern saturation sweep instead of traces: a registry name (" +
+		strings.Join(traffic.Names(), ", ") + ") or \"all\""
+	topologyUsage = "topology kind: " + strings.Join(topology.Names(), ", ") +
+		" (comma list or \"all\" in pattern mode; single kind for traces)"
+)
+
 func main() {
 	os.Exit(run())
 }
@@ -65,12 +74,8 @@ func main() {
 func run() int {
 	kernel := flag.String("kernel", "all", "kernel: FT, CG, MG, LU or all")
 	traceFile := flag.String("trace", "", "external trace file (overrides -kernel)")
-	pattern := flag.String("pattern", "",
-		"synthetic pattern saturation sweep instead of traces: a registry name ("+
-			strings.Join(traffic.Names(), ", ")+") or \"all\"")
-	topoFlag := flag.String("topology", "mesh",
-		"topology kind: "+strings.Join(topology.Names(), ", ")+
-			" (comma list or \"all\" in pattern mode; single kind for traces)")
+	pattern := flag.String("pattern", "", patternUsage)
+	topoFlag := flag.String("topology", "mesh", topologyUsage)
 	energySweep := flag.Bool("energy", false,
 		"with -pattern: measured energy accounting per sweep point "+
 			"(fJ/bit, simulated CLEAR, latency–energy Pareto frontier)")

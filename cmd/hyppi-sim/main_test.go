@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestUsageListsRegisteredNames: adding a pattern or topology kind to the
+// registries must surface it in -h, not leave the usage text stale.
+func TestUsageListsRegisteredNames(t *testing.T) {
+	for _, name := range traffic.Names() {
+		if !strings.Contains(patternUsage, name) {
+			t.Errorf("-pattern usage misses registered pattern %q: %s", name, patternUsage)
+		}
+	}
+	for _, name := range topology.Names() {
+		if !strings.Contains(topologyUsage, string(name)) {
+			t.Errorf("-topology usage misses registered kind %q: %s", name, topologyUsage)
+		}
+	}
+}

@@ -5,7 +5,9 @@
 package report
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -337,6 +339,39 @@ func WriteRadar(w io.Writer, radar optical.Radar) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// JSONLine renders v as one compact JSON line without a trailing
+// newline: no indentation, no HTML escaping (the wire protocol is not
+// HTML, so <, > and & stay literal). For struct inputs the encoding is
+// byte-stable — fields render in declaration order with Go's
+// shortest-round-trip float formatting — which is what lets the serving
+// layer (internal/serve) promise bit-identical responses for identical
+// queries and pin them in golden files. Map inputs sort their keys (the
+// encoding/json contract) and are equally stable.
+func JSONLine(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// WriteJSONLines emits one JSONLine per row — the JSON-lines counterpart
+// of the CSV writers for downstream tools that prefer jq to csvkit.
+func WriteJSONLines[T any](w io.Writer, rows []T) error {
+	for _, r := range rows {
+		line, err := JSONLine(r)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Check validates that a CSV stream parses and has the expected column

@@ -278,3 +278,53 @@ func TestEnergyAndParetoTables(t *testing.T) {
 		}
 	}
 }
+
+// TestJSONLine pins the wire-encoding contract the serve protocol builds
+// on: compact single-line output, byte-stable across calls, HTML metas
+// unescaped so messages read back verbatim.
+func TestJSONLine(t *testing.T) {
+	type row struct {
+		Name string  `json:"name"`
+		Rate float64 `json:"rate,omitempty"`
+		Note string  `json:"note,omitempty"`
+	}
+	line, err := JSONLine(row{Name: "a<b>&c", Rate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"a<b>&c","rate":0.05}`
+	if string(line) != want {
+		t.Errorf("got %s, want %s", line, want)
+	}
+	again, err := JSONLine(row{Name: "a<b>&c", Rate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, again) {
+		t.Errorf("unstable encoding: %s vs %s", line, again)
+	}
+	if bytes.ContainsAny(line, "\n") {
+		t.Errorf("line contains a newline: %q", line)
+	}
+	if _, err := JSONLine(func() {}); err == nil {
+		t.Error("unencodable value accepted")
+	}
+}
+
+// TestWriteJSONLines: one line per row, in order, each parseable.
+func TestWriteJSONLines(t *testing.T) {
+	type row struct {
+		N int `json:"n"`
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, []row{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"n\":1}\n{\"n\":2}\n{\"n\":3}\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+	if err := WriteJSONLines(&buf, []func(){func() {}}); err == nil {
+		t.Error("unencodable row accepted")
+	}
+}

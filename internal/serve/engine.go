@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+	"repro/internal/runner"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Serving defaults.
+const (
+	// DefaultWidth and DefaultHeight are the grid a query gets when it
+	// names none: the repository's cycle-accurate sweep scale.
+	DefaultWidth, DefaultHeight = 8, 8
+	// DefaultMaxNodes bounds requested grids (64×64).
+	DefaultMaxNodes = 4096
+	// DefaultMaxBatch caps how many queued queries coalesce into one
+	// core.EvalCells call.
+	DefaultMaxBatch = 64
+	// DefaultQueueDepth bounds the pending-evaluation queue; beyond it
+	// the engine answers queue_full instead of growing without bound.
+	DefaultQueueDepth = 256
+	// DefaultTraceScale is the NPB volume scale for kernel queries (the
+	// CLIs' default).
+	DefaultTraceScale = 1.0 / 16
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Options is the shared experiment configuration; a query's kind and
+	// geometry override its topology per cell. The zero value selects
+	// core.DefaultOptions.
+	Options core.Options
+	// Sweep shapes every evaluation (Bernoulli workload, simulator
+	// configuration); Rates is unused — each query carries its own load.
+	// The zero value selects core.DefaultEnergySweep.
+	Sweep core.EnergySweepConfig
+	// Workers sizes the evaluation pool a batch fans out on
+	// (0 = GOMAXPROCS).
+	Workers int
+	// MaxBatch, QueueDepth, MaxNodes and TraceScale default to the
+	// package constants when zero.
+	MaxBatch   int
+	QueueDepth int
+	MaxNodes   int
+	TraceScale float64
+}
+
+// DefaultEngineConfig returns the serving defaults.
+func DefaultEngineConfig() Config {
+	return Config{
+		Options:    core.DefaultOptions(),
+		Sweep:      core.DefaultEnergySweep(),
+		MaxBatch:   DefaultMaxBatch,
+		QueueDepth: DefaultQueueDepth,
+		MaxNodes:   DefaultMaxNodes,
+		TraceScale: DefaultTraceScale,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	zero := core.Options{}
+	if c.Options == zero {
+		c.Options = core.DefaultOptions()
+	}
+	if c.Sweep.Workload.SizeFlits == 0 && c.Sweep.Workload.Cycles == 0 {
+		c.Sweep = core.DefaultEnergySweep()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = DefaultMaxNodes
+	}
+	if c.TraceScale <= 0 {
+		c.TraceScale = DefaultTraceScale
+	}
+	return c
+}
+
+// Stats is a snapshot of the engine's serving counters.
+type Stats struct {
+	// Hits counts queries answered from the cache or joined onto an
+	// identical in-flight evaluation (single-flight dedup); Misses
+	// counts queries that enqueued a fresh evaluation.
+	Hits, Misses uint64
+	// Evaluations counts cells actually evaluated (one per distinct
+	// canonical query, however many clients asked for it).
+	Evaluations uint64
+	// Batches counts core.EvalCells calls; MaxBatch is the largest
+	// coalesced batch seen.
+	Batches  uint64
+	MaxBatch int
+	// Rejected counts queue-full backpressure rejections.
+	Rejected uint64
+	// CacheEntries is the current number of cached canonical queries.
+	CacheEntries int
+}
+
+// HitRate is Hits / (Hits + Misses), 0 before any query.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is one cached canonical query. done closes when the evaluation
+// lands; res/err are immutable afterwards. Waiters joining before
+// completion are the single-flight dedup path; joiners after completion
+// are plain cache hits — both read the same bytes.
+type entry struct {
+	done chan struct{}
+	res  *Result
+	err  *Error
+}
+
+// job pairs a cache entry with the canonical request that fills it.
+type job struct {
+	canon Request
+	ent   *entry
+}
+
+// Engine is the query-serving core: a keyed result cache with
+// single-flight deduplication in front of a micro-batching dispatcher
+// that coalesces queued queries into core.EvalCells calls on the pooled
+// runner. Responses are deterministic: a query's result is a pure
+// function of its canonical form, so concurrent clients receive answers
+// bit-identical to serial evaluation, however requests interleave, batch
+// or dedup (the CONCURRENCY contract in CHANGES.md, extended to the
+// serving layer).
+type Engine struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	cache  map[string]*entry
+
+	queue        chan *job
+	dispatcherWG sync.WaitGroup
+
+	hits, misses, evals, batches, rejected atomic.Uint64
+	maxBatch                               atomic.Int64
+
+	// evalHook, when set before the first query, observes every batch
+	// just before evaluation (test instrumentation: the single-flight
+	// tests gate evaluation on it).
+	evalHook func([]core.EvalCell)
+}
+
+// NewEngine starts an engine; callers own Close.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{
+		cfg:   cfg.withDefaults(),
+		cache: make(map[string]*entry),
+	}
+	e.queue = make(chan *job, e.cfg.QueueDepth)
+	e.dispatcherWG.Add(1)
+	go e.dispatch()
+	return e
+}
+
+// Close stops the dispatcher after draining queued work. Queries already
+// waiting complete; new queries are rejected.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	e.dispatcherWG.Wait()
+}
+
+// Stats snapshots the serving counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	entries := len(e.cache)
+	e.mu.Unlock()
+	return Stats{
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		Evaluations:  e.evals.Load(),
+		Batches:      e.batches.Load(),
+		MaxBatch:     int(e.maxBatch.Load()),
+		Rejected:     e.rejected.Load(),
+		CacheEntries: entries,
+	}
+}
+
+// Do answers one query: validate and canonicalize, join the cached or
+// in-flight evaluation when one exists, otherwise enqueue a fresh cell
+// for the dispatcher (rejecting with queue_full when the pending queue is
+// at QueueDepth — graceful backpressure instead of unbounded goroutines).
+// Do blocks until the answer is ready or ctx is done; a canceled wait
+// returns a canceled error while the evaluation itself completes and
+// stays cached.
+func (e *Engine) Do(ctx context.Context, req Request) Response {
+	canon, errObj := req.Canonical(e.cfg.MaxNodes)
+	if errObj != nil {
+		return errResponse(req.ID, errObj)
+	}
+	key := canon.key()
+
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+	} else {
+		if e.closed {
+			e.mu.Unlock()
+			return errResponse(req.ID, errf(CodeQueueFull, "", "server shutting down"))
+		}
+		ent = &entry{done: make(chan struct{})}
+		select {
+		case e.queue <- &job{canon: canon, ent: ent}:
+			e.cache[key] = ent
+			e.mu.Unlock()
+			e.misses.Add(1)
+		default:
+			e.mu.Unlock()
+			e.rejected.Add(1)
+			return errResponse(req.ID, errf(CodeQueueFull, "",
+				"evaluation queue full (%d pending); retry later", e.cfg.QueueDepth))
+		}
+	}
+
+	select {
+	case <-ent.done:
+	case <-ctx.Done():
+		return errResponse(req.ID, errf(CodeCanceled, "", "%v", ctx.Err()))
+	}
+	if ent.err != nil {
+		return errResponse(req.ID, ent.err)
+	}
+	res := *ent.res
+	return Response{ID: req.ID, OK: true, Result: &res}
+}
+
+// dispatch is the micro-batcher: it blocks for one queued job, greedily
+// drains whatever else is already pending (up to MaxBatch), and evaluates
+// the coalesced cells as one core.EvalCells call. Under concurrent load
+// arrivals pile up while the previous batch evaluates, so batching
+// emerges from pressure with no artificial delay added to a lone query.
+func (e *Engine) dispatch() {
+	defer e.dispatcherWG.Done()
+	for {
+		j, ok := <-e.queue
+		if !ok {
+			return
+		}
+		batch := []*job{j}
+	drain:
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case j2, ok2 := <-e.queue:
+				if !ok2 {
+					break drain
+				}
+				batch = append(batch, j2)
+			default:
+				break drain
+			}
+		}
+		e.runBatch(batch)
+	}
+}
+
+// runBatch evaluates one coalesced batch and completes its entries.
+func (e *Engine) runBatch(batch []*job) {
+	cells := make([]core.EvalCell, len(batch))
+	for i, j := range batch {
+		cells[i] = e.cellFor(j.canon)
+	}
+	if e.evalHook != nil {
+		e.evalHook(cells)
+	}
+	e.batches.Add(1)
+	if n := int64(len(batch)); n > e.maxBatch.Load() {
+		e.maxBatch.Store(n)
+	}
+	e.evals.Add(uint64(len(cells)))
+
+	results, err := core.EvalCells(context.Background(), cells, e.cfg.Sweep, e.cfg.Options,
+		runner.Config{Workers: e.cfg.Workers})
+	for i, j := range batch {
+		switch {
+		case err != nil:
+			j.ent.err = errf(CodeEvalFailed, "", "%v", err)
+		case results[i].Err != nil:
+			j.ent.err = errf(CodeEvalFailed, "", "%v", results[i].Err)
+		default:
+			j.ent.res = buildResult(j.canon, results[i])
+		}
+		close(j.ent.done)
+	}
+}
+
+// cellFor maps a canonicalized request onto its evaluation cell. Every
+// lookup below re-resolves a name Canonical already validated, so none
+// can fail.
+func (e *Engine) cellFor(canon Request) core.EvalCell {
+	base, _ := tech.ParseTechnology(canon.Base)
+	express, _ := tech.ParseTechnology(canon.Express)
+	cell := core.EvalCell{
+		Kind:   topology.Kind(canon.Topology),
+		Width:  canon.Width,
+		Height: canon.Height,
+		Point:  core.DesignPoint{Base: base, Express: express, Hops: canon.Hops},
+		Energy: canon.Want != WantLatency,
+	}
+	if canon.Pattern != "" {
+		cell.Pattern, _ = traffic.Lookup(canon.Pattern)
+		cell.Rate = canon.Load
+	} else {
+		k, _ := npb.ParseKernel(canon.Kernel)
+		cfg := npb.DefaultConfig(k)
+		cfg.GridW, cfg.GridH = canon.Width, canon.Height
+		cfg.Scale = e.cfg.TraceScale
+		cell.Trace = &cfg
+	}
+	return cell
+}
+
+// buildResult renders a cell's measurement as the response payload for
+// the requested want.
+func buildResult(canon Request, r core.EvalCellResult) *Result {
+	base, _ := tech.ParseTechnology(canon.Base)
+	express, _ := tech.ParseTechnology(canon.Express)
+	label := core.PatternSweepResult{
+		Kind:  topology.Kind(canon.Topology),
+		Point: core.DesignPoint{Base: base, Express: express, Hops: canon.Hops},
+	}.PointLabel()
+	res := &Result{
+		Topology:       canon.Topology,
+		Point:          label,
+		Width:          canon.Width,
+		Height:         canon.Height,
+		Pattern:        canon.Pattern,
+		Kernel:         canon.Kernel,
+		Load:           canon.Load,
+		Want:           canon.Want,
+		Saturated:      r.Saturated,
+		AvgLatencyClks: r.AvgLatencyClks,
+		P99LatencyClks: r.P99LatencyClks,
+		Cycles:         r.Cycles,
+		Packets:        r.Packets,
+	}
+	if r.Saturated {
+		return res
+	}
+	switch canon.Want {
+	case WantEnergy:
+		res.FJPerBit = r.Run.FJPerBit
+		res.DynamicJ = r.Run.DynamicJ
+		res.StaticJ = r.Run.StaticJ
+		res.TotalJ = r.Run.TotalJ
+		res.AvgPowerW = r.Run.AvgPowerW
+		fallthrough
+	case WantCLEAR:
+		res.CLEAR = r.CLEAR.Value
+		res.R = r.CLEAR.R
+		res.AvgUtilization = r.CLEAR.AvgUtilization
+	}
+	return res
+}

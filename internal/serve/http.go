@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/report"
+)
+
+// Handler exposes the engine over HTTP:
+//
+//	POST /query   — one Request object in the body, one Response out
+//	GET  /stats   — the engine's serving counters as JSON
+//	GET  /healthz — liveness probe ("ok")
+//
+// Status codes map the protocol error classes: 200 for answered queries,
+// 400 for every validation rejection, 429 (with Retry-After) for
+// queue-full backpressure, 422 for queries that validate but cannot be
+// evaluated, 503 for a canceled wait. The response body is always the
+// same canonical JSON line the stdio mode writes, so the two transports
+// share one golden suite.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxLineBytes))
+		if err != nil {
+			writeResponse(w, errResponse("", errf(CodeBadJSON, "", "reading body: %v", err)))
+			return
+		}
+		req, decErr := DecodeRequest(body)
+		if decErr != nil {
+			writeResponse(w, errResponse(req.ID, decErr))
+			return
+		}
+		writeResponse(w, e.Do(r.Context(), req))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		line, err := report.JSONLine(e.Stats())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(line, '\n'))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// writeResponse emits a canonical response line with its mapped status.
+func writeResponse(w http.ResponseWriter, resp Response) {
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.OK {
+		status := http.StatusBadRequest
+		switch resp.Error.Code {
+		case CodeQueueFull:
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		case CodeEvalFailed:
+			status = http.StatusUnprocessableEntity
+		case CodeCanceled:
+			status = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(status)
+	}
+	w.Write(append(resp.Encode(), '\n'))
+}
