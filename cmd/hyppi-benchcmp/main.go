@@ -9,15 +9,22 @@
 //
 //	hyppi-benchcmp old.txt new.txt
 //	hyppi-benchcmp -threshold 20 old.txt new.txt   # exit 1 on >20% time/op regressions
+//	hyppi-benchcmp -fail-allocs 0 old.txt new.txt  # exit 1 on any allocs/op increase
+//	hyppi-benchcmp -json cmp.json old.txt new.txt  # also write the table as JSON
 //
 // With a single file argument it just pretty-prints that file's metrics.
-// Without -threshold the exit status is always 0 (single-run benchmark
-// numbers are noisy; the CI smoke job runs at -benchtime=1x and only wants
-// the comparison rendered, not enforced).
+// Without -threshold the exit status is always 0 for timings (single-run
+// benchmark numbers are noisy; the CI smoke job runs at -benchtime=1x and
+// only wants the comparison rendered, not enforced). Allocation counts are
+// deterministic at -benchtime=1x, so -fail-allocs gates them exactly: any
+// allocs/op increase beyond the given percentage fails, and 0 tolerates
+// none. -json writes the machine-readable comparison (every benchmark ×
+// metric row with its delta) for dashboards and artifact diffing.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -123,9 +130,23 @@ func human(v float64) string {
 	}
 }
 
+// row is one benchmark × metric comparison of the JSON report.
+type row struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	DeltaPct  float64 `json:"delta_pct"`
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0,
 		"exit 1 when any benchmark's ns/op regresses by more than this percentage (0 = never fail)")
+	failAllocs := flag.Float64("fail-allocs", -1,
+		"exit 1 when any benchmark's allocs/op grows by more than this percentage "+
+			"(0 = fail on any increase, negative = disabled)")
+	jsonPath := flag.String("json", "",
+		"also write the comparison as JSON rows to this file")
 	units := flag.String("units", "",
 		"comma-separated unit filter (default: every unit present in both files)")
 	flag.Parse()
@@ -166,7 +187,9 @@ func main() {
 
 	fmt.Printf("%-44s %-14s %14s %14s %10s\n", "benchmark", "metric", "old", "new", "delta")
 	fmt.Println(strings.Repeat("-", 100))
+	var rows []row
 	regressed := false
+	var allocFailures []string
 	for _, name := range newNames {
 		om, ok := oldM[name]
 		nm := newM[name]
@@ -184,8 +207,17 @@ func main() {
 			}
 			nv := nm.values[u]
 			fmt.Printf("%-44s %-14s %14s %14s  %s\n", name, u, human(ov), human(nv), delta(u, ov, nv))
-			if u == "ns/op" && *threshold > 0 && ov > 0 && (nv-ov)/ov*100 > *threshold {
+			pct := 0.0
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+			}
+			rows = append(rows, row{Benchmark: name, Metric: u, Old: ov, New: nv, DeltaPct: pct})
+			if u == "ns/op" && *threshold > 0 && ov > 0 && pct > *threshold {
 				regressed = true
+			}
+			if u == "allocs/op" && *failAllocs >= 0 && ov >= 0 && pct > *failAllocs {
+				allocFailures = append(allocFailures,
+					fmt.Sprintf("%s: allocs/op %s -> %s (%+.1f%%)", name, human(ov), human(nv), pct))
 			}
 		}
 	}
@@ -199,8 +231,30 @@ func main() {
 	for _, name := range dropped {
 		fmt.Printf("%-44s %s\n", name, "(missing from new run)")
 	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-benchcmp:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-benchcmp:", err)
+			os.Exit(2)
+		}
+	}
+	fail := false
 	if regressed {
 		fmt.Fprintf(os.Stderr, "hyppi-benchcmp: ns/op regression beyond %.0f%%\n", *threshold)
+		fail = true
+	}
+	for _, f := range allocFailures {
+		fmt.Fprintln(os.Stderr, "hyppi-benchcmp:", f)
+		fail = true
+	}
+	if len(allocFailures) > 0 {
+		fmt.Fprintf(os.Stderr, "hyppi-benchcmp: allocs/op regression beyond %.0f%%\n", *failAllocs)
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

@@ -12,13 +12,15 @@
 //	hyppi-explore -topology torus,fbfly
 //	hyppi-explore -topology all -patterns all
 //	hyppi-explore -energy [-patterns uniform,tornado]
+//	hyppi-explore -patterns uniform -grid 64x64
 //	hyppi-explore -cpuprofile cpu.out -memprofile mem.out
 //
 // With -patterns, the analytic exploration is followed by a
-// cycle-accurate synthetic-pattern saturation sweep (8×8 grid, plain
-// electronic mesh versus the headline E + HyPPI express@3 hybrid) for
-// the named registry patterns, reporting each pattern's latency-knee
-// saturation throughput.
+// cycle-accurate synthetic-pattern saturation sweep (the -grid geometry,
+// default 8×8; larger grids stay interactive because routing, traffic and
+// the kernel are all O(n) in nodes) comparing the plain electronic mesh
+// against the headline E + HyPPI express@3 hybrid for the named registry
+// patterns, reporting each pattern's latency-knee saturation throughput.
 //
 // With -energy, the analytic exploration is followed by a measured
 // latency–energy sweep (8×8 grid, plain electronic mesh versus electronic
@@ -79,6 +81,7 @@ func run() int {
 	policy := flag.String("policy", "monotone", "routing policy: monotone or shortest")
 	patterns := flag.String("patterns", "", patternUsage)
 	topoFlag := flag.String("topology", "", topologyUsage)
+	grid := flag.String("grid", "8x8", "cycle-accurate sweep router grid as WxH (e.g. 64x64)")
 	energyFlag := flag.Bool("energy", false,
 		"follow the exploration with a measured latency–energy sweep "+
 			"(activity-based fJ/bit, simulated CLEAR, Pareto fronts)")
@@ -97,6 +100,11 @@ func run() int {
 	o := core.DefaultOptions()
 	o.Traffic.MaxInjectionRate = *rate
 	o.Traffic.Seed = *seed
+	simW, simH, err := topology.ParseGrid(*grid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
+		return 1
+	}
 	switch *policy {
 	case "monotone":
 		o.Policy = routing.MonotoneExpress
@@ -191,13 +199,13 @@ func run() int {
 			return 1
 		}
 		if *patterns != "" {
-			if err := runTopologyPatternSweep(kinds, *patterns, o, *workers); err != nil {
+			if err := runTopologyPatternSweep(kinds, *patterns, o, simW, simH, *workers); err != nil {
 				fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
 				return 1
 			}
 		}
 		if *energyFlag {
-			if err := runEnergySweep(kinds, *patterns, o, *workers); err != nil {
+			if err := runEnergySweep(kinds, *patterns, o, simW, simH, *workers); err != nil {
 				fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
 				return 1
 			}
@@ -206,13 +214,13 @@ func run() int {
 	}
 
 	if *patterns != "" && !*energyFlag {
-		if err := runPatternSweep(*patterns, o, *workers); err != nil {
+		if err := runPatternSweep(*patterns, o, simW, simH, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
 			return 1
 		}
 	}
 	if *energyFlag {
-		if err := runEnergySweep(nil, *patterns, o, *workers); err != nil {
+		if err := runEnergySweep(nil, *patterns, o, simW, simH, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
 			return 1
 		}
@@ -227,7 +235,7 @@ func run() int {
 // against the electronic and HyPPI express@3 hybrids; with explicit
 // non-mesh kinds one plain electronic fabric per kind competes instead
 // (non-mesh fabrics take no express channels).
-func runEnergySweep(kinds []topology.Kind, spec string, o core.Options, workers int) error {
+func runEnergySweep(kinds []topology.Kind, spec string, o core.Options, simW, simH, workers int) error {
 	if spec == "" {
 		spec = "uniform,tornado"
 	}
@@ -235,7 +243,7 @@ func runEnergySweep(kinds []topology.Kind, spec string, o core.Options, workers 
 	if err != nil {
 		return err
 	}
-	o.Topology.Width, o.Topology.Height = 8, 8
+	o.Topology.Width, o.Topology.Height = simW, simH
 	meshOnly := len(kinds) == 0 || (len(kinds) == 1 && kinds[0] == topology.Mesh)
 	if len(kinds) == 0 {
 		kinds = []topology.Kind{topology.Mesh}
@@ -254,7 +262,7 @@ func runEnergySweep(kinds []topology.Kind, spec string, o core.Options, workers 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nMeasured latency–energy sweep (8×8, cycle-accurate, rates %v)\n", sc.Rates)
+	fmt.Printf("\nMeasured latency–energy sweep (%d×%d, cycle-accurate, rates %v)\n", simW, simH, sc.Rates)
 	fmt.Println("fJ/bit = measured activity energy + static power integrated over the run;")
 	fmt.Println("'*' marks the per-pattern latency–energy Pareto frontier")
 	fmt.Print(report.EnergyTable(results))
@@ -285,19 +293,19 @@ func runKindComparison(kinds []topology.Kind, o core.Options, workers int) error
 // runTopologyPatternSweep runs the full topology × pattern × load matrix
 // with the cycle-accurate simulator on an 8×8 grid, one plain electronic
 // fabric per kind.
-func runTopologyPatternSweep(kinds []topology.Kind, spec string, o core.Options, workers int) error {
+func runTopologyPatternSweep(kinds []topology.Kind, spec string, o core.Options, simW, simH, workers int) error {
 	pats, err := traffic.ParsePatterns(spec)
 	if err != nil {
 		return err
 	}
-	o.Topology.Width, o.Topology.Height = 8, 8
+	o.Topology.Width, o.Topology.Height = simW, simH
 	sc := core.DefaultPatternSweep()
 	results, err := core.TopologyPatternSweep(context.Background(), kinds, pats, sc, o,
 		runner.Config{Workers: workers})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nTopology × pattern saturation sweep (8×8, cycle-accurate, rates %v)\n", sc.Rates)
+	fmt.Printf("\nTopology × pattern saturation sweep (%d×%d, cycle-accurate, rates %v)\n", simW, simH, sc.Rates)
 	fmt.Println("latency-knee rule: saturation = lowest rate with avg > 3x zero-load, or no drain")
 	fmt.Print(report.SaturationTable(results))
 	return nil
@@ -307,12 +315,12 @@ func runTopologyPatternSweep(kinds []topology.Kind, spec string, o core.Options,
 // saturation sweep of the named registry patterns on an 8×8 grid,
 // comparing the plain electronic mesh against the paper's headline
 // E + HyPPI express@3 hybrid.
-func runPatternSweep(spec string, o core.Options, workers int) error {
+func runPatternSweep(spec string, o core.Options, simW, simH, workers int) error {
 	pats, err := traffic.ParsePatterns(spec)
 	if err != nil {
 		return err
 	}
-	o.Topology.Width, o.Topology.Height = 8, 8
+	o.Topology.Width, o.Topology.Height = simW, simH
 	points := []core.DesignPoint{
 		{Base: tech.Electronic, Express: tech.Electronic, Hops: 0},
 		{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3},
@@ -323,7 +331,7 @@ func runPatternSweep(spec string, o core.Options, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nSynthetic-pattern saturation sweep (8×8, cycle-accurate, rates %v)\n", sc.Rates)
+	fmt.Printf("\nSynthetic-pattern saturation sweep (%d×%d, cycle-accurate, rates %v)\n", simW, simH, sc.Rates)
 	fmt.Println("latency-knee rule: saturation = lowest rate with avg > 3x zero-load, or no drain")
 	fmt.Print(report.SaturationTable(results))
 	return nil

@@ -10,14 +10,17 @@
 //	hyppi-sim -trace file.txt [-express Photonic]
 //	hyppi-sim -pattern tornado [-express HyPPI]
 //	hyppi-sim -pattern all -topology all
+//	hyppi-sim -pattern uniform -grid 64x64
 //	hyppi-sim -pattern tornado -energy
 //	hyppi-sim -kernel FT -topology torus
 //	hyppi-sim -cpuprofile cpu.out -memprofile mem.out
 //
 // With -pattern, hyppi-sim runs a synthetic traffic saturation sweep
 // instead of traces: the named registry pattern (or "all") is swept over
-// offered load on an 8×8 grid, mesh versus express hybrids, and the
-// latency-knee saturation throughput is reported per configuration.
+// offered load on the -grid geometry (default 8×8; 64×64 and beyond stay
+// interactive — routing, traffic and the kernel are all O(n) in nodes),
+// mesh versus express hybrids, and the latency-knee saturation throughput
+// is reported per configuration.
 //
 // Adding -energy prices every drained point of that sweep with the
 // activity-based energy subsystem (internal/energy): measured fJ/bit, the
@@ -57,6 +60,23 @@ import (
 // sweepHops are the express hop lengths of the Fig. 6 comparison.
 var sweepHops = []int{0, 3, 5, 15}
 
+// patternHopLadder is the pattern sweep's express hop ladder at a grid
+// width: plain mesh, the paper's short and mid hops, and the W−1 row
+// closure — dropping rungs the width cannot host and duplicates (e.g.
+// W = 4, where 3 already is the closure).
+func patternHopLadder(w int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, h := range []int{0, 3, 5, w - 1} {
+		if h < 0 || h >= w || seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, h)
+	}
+	return out
+}
+
 // Flag usage strings are package level so the usage test can assert every
 // registered pattern and kind name is discoverable from -h.
 var (
@@ -76,6 +96,7 @@ func run() int {
 	traceFile := flag.String("trace", "", "external trace file (overrides -kernel)")
 	pattern := flag.String("pattern", "", patternUsage)
 	topoFlag := flag.String("topology", "mesh", topologyUsage)
+	grid := flag.String("grid", "8x8", "pattern-sweep router grid as WxH (e.g. 64x64)")
 	energySweep := flag.Bool("energy", false,
 		"with -pattern: measured energy accounting per sweep point "+
 			"(fJ/bit, simulated CLEAR, latency–energy Pareto frontier)")
@@ -109,6 +130,12 @@ func run() int {
 	}
 
 	if *pattern != "" {
+		w, h, err := topology.ParseGrid(*grid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+			return 1
+		}
+		o.Topology.Width, o.Topology.Height = w, h
 		switch {
 		case *energySweep:
 			err = runEnergySweep(kinds, *pattern, exTech, o, pool)
@@ -216,11 +243,10 @@ func runEnergySweep(kinds []topology.Kind, spec string, exTech tech.Technology,
 	if err != nil {
 		return err
 	}
-	o.Topology.Width, o.Topology.Height = 8, 8
 	var points []core.DesignPoint
 	if len(kinds) == 1 && kinds[0] == topology.Mesh {
-		// The 8×8 analog of the paper's hop ladder (7 = W−1 ring closure).
-		for _, hops := range []int{0, 3, 5, 7} {
+		// The grid's analog of the paper's hop ladder (W−1 = ring closure).
+		for _, hops := range patternHopLadder(o.Topology.Width) {
 			ex := exTech
 			if hops == 0 {
 				ex = tech.Electronic
@@ -236,7 +262,8 @@ func runEnergySweep(kinds []topology.Kind, spec string, exTech tech.Technology,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("8×8 measured latency–energy sweep, express = %v, rates = %v\n", exTech, sc.Rates)
+	fmt.Printf("%d×%d measured latency–energy sweep, express = %v, rates = %v\n",
+		o.Topology.Width, o.Topology.Height, exTech, sc.Rates)
 	fmt.Println("(fJ/bit = measured activity energy + static power integrated over the run;")
 	fmt.Println(" '*' marks the latency–energy Pareto frontier of the scenario)")
 	fmt.Print(report.EnergyTable(results))
@@ -253,13 +280,13 @@ func runTopologySweep(kinds []topology.Kind, spec string, o core.Options, pool r
 	if err != nil {
 		return err
 	}
-	o.Topology.Width, o.Topology.Height = 8, 8
 	sc := core.DefaultPatternSweep()
 	results, err := core.TopologyPatternSweep(context.Background(), kinds, patterns, sc, o, pool)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("8×8 topology × pattern saturation sweep, rates = %v\n", sc.Rates)
+	fmt.Printf("%d×%d topology × pattern saturation sweep, rates = %v\n",
+		o.Topology.Width, o.Topology.Height, sc.Rates)
 	for _, r := range results {
 		fmt.Printf("\n%v / %s\n", r.Kind, r.Pattern)
 		for _, p := range r.Curve {
@@ -286,10 +313,9 @@ func runPatternSweep(spec string, exTech tech.Technology, o core.Options, pool r
 	if err != nil {
 		return err
 	}
-	o.Topology.Width, o.Topology.Height = 8, 8
-	// The 8×8 analog of the paper's hop ladder: 7 = W−1 closes each row
+	// The grid's analog of the paper's hop ladder: W−1 closes each row
 	// into a ring, the counterpart of hops=15 on the 16-wide mesh.
-	patternHops := []int{0, 3, 5, 7}
+	patternHops := patternHopLadder(o.Topology.Width)
 	points := make([]core.DesignPoint, 0, len(patternHops))
 	for _, hops := range patternHops {
 		ex := exTech
@@ -303,7 +329,8 @@ func runPatternSweep(spec string, exTech tech.Technology, o core.Options, pool r
 	if err != nil {
 		return err
 	}
-	fmt.Printf("8×8 pattern saturation sweep, express = %v, rates = %v\n", exTech, sc.Rates)
+	fmt.Printf("%d×%d pattern saturation sweep, express = %v, rates = %v\n",
+		o.Topology.Width, o.Topology.Height, exTech, sc.Rates)
 	for _, r := range results {
 		fmt.Printf("\n%v / %s\n", r.Point, r.Pattern)
 		for _, p := range r.Curve {

@@ -93,10 +93,12 @@ func Evaluate(net *topology.Network, tab *routing.Table, tm *traffic.Matrix, p P
 	routerLoad := make([]float64, n)            // flit traversals/cycle per router
 
 	var latSum, rateSum, hopSum, expressFlits, totalFlitHops float64
+	row := make([]float64, n) // reusable per-source rate row (streamed matrices have no dense Rates)
 	for s := 0; s < n; s++ {
 		src := topology.NodeID(s)
+		row = tm.Row(s, row)
 		for d := 0; d < n; d++ {
-			rate := tm.Rates[s][d]
+			rate := row[d]
 			if rate == 0 || s == d {
 				continue
 			}

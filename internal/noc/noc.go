@@ -64,6 +64,11 @@ type Config struct {
 	PipelineClks int
 	// MaxCycles aborts a run that fails to drain (0 = default cap).
 	MaxCycles int64
+	// DisableIdleSkip forces the kernel to step through provably idle
+	// cycles one at a time instead of leaping the clock to the next
+	// event. Results are bit-identical either way (the skip-equivalence
+	// tests pin that); the stepping kernel exists as their reference.
+	DisableIdleSkip bool
 }
 
 // DefaultConfig returns the Table II router configuration.
@@ -714,12 +719,32 @@ func (s *Sim) Run() (Stats, error) {
 			return s.stats, fmt.Errorf("noc: %d packets undrained after %d cycles (deadlock or overload)",
 				remaining, s.now)
 		}
-		// Fast-forward across fully idle stretches (gaps between trace
-		// bursts): nothing buffered, nothing in flight, no source with a
-		// ready packet — jump to the earliest parked release.
-		if s.totalBuf == 0 && s.inflight == 0 && s.liveSrc == 0 {
-			if len(s.relHeap) > 0 && s.relHeap[0].rel > s.now {
-				s.now = s.relHeap[0].rel
+		// Leap over provably idle cycles. With nothing buffered and no
+		// live source, every router stage and the injection scan are
+		// no-ops until either an in-flight flit arrives (the next
+		// non-empty calendar bucket) or a parked source releases
+		// (relHeap top) — nothing else can change state: credits apply
+		// in the cycle that sends them, so the credit queue is empty
+		// here. Jump the clock straight to the earliest such event.
+		// This generalizes the historical trace-gap fast-forward (which
+		// required inflight == 0) to mid-flight gaps, where long express
+		// channels leave the whole fabric idle for multi-cycle stretches.
+		if s.totalBuf == 0 && s.liveSrc == 0 && !s.cfg.DisableIdleSkip {
+			next := int64(-1)
+			if s.inflight > 0 {
+				cl := int64(len(s.calendar))
+				for off := int64(0); off < cl; off++ {
+					if len(s.calendar[(s.now+off)%cl]) > 0 {
+						next = s.now + off
+						break
+					}
+				}
+			}
+			if len(s.relHeap) > 0 && (next < 0 || s.relHeap[0].rel < next) {
+				next = s.relHeap[0].rel
+			}
+			if next > s.now {
+				s.now = next
 			}
 		}
 		s.deliverLinkArrivals()

@@ -37,23 +37,16 @@ func (w BernoulliWorkload) Generate(net *topology.Network, tm *traffic.Matrix) (
 	rng := rand.New(rand.NewSource(w.Seed))
 	n := net.NumNodes()
 
-	// Per-source cumulative destination distribution.
-	cum := make([][]float64, n)
 	rowRate := make([]float64, n)
 	for s := 0; s < n; s++ {
 		rowRate[s] = tm.RowSum(s)
-		if rowRate[s] == 0 {
-			continue
-		}
-		c := make([]float64, n)
-		acc := 0.0
-		for d := 0; d < n; d++ {
-			acc += tm.Rates[s][d]
-			c[d] = acc
-		}
-		cum[s] = c
 	}
 
+	// One reusable cumulative-distribution buffer: each source's row is
+	// materialized, prefix-summed in place, sampled, then overwritten by
+	// the next source — O(n) memory where the per-source tables were
+	// O(n²). The RNG consumption and sampled values are unchanged.
+	cum := make([]float64, n)
 	var pkts []Packet
 	for s := 0; s < n; s++ {
 		if rowRate[s] == 0 {
@@ -63,13 +56,19 @@ func (w BernoulliWorkload) Generate(net *topology.Network, tm *traffic.Matrix) (
 		if pPkt > 1 {
 			return nil, fmt.Errorf("noc: node %d rate %v exceeds 1 packet/cycle", s, pPkt)
 		}
+		cum = tm.Row(s, cum)
+		acc := 0.0
+		for d := 0; d < n; d++ {
+			acc += cum[d]
+			cum[d] = acc
+		}
 		for cyc := int64(0); cyc < w.Cycles; cyc++ {
 			if rng.Float64() >= pPkt {
 				continue
 			}
 			// Sample the destination from the cumulative row.
 			x := rng.Float64() * rowRate[s]
-			d := searchCum(cum[s], x)
+			d := searchCum(cum, x)
 			if d == s {
 				continue // degenerate row; skip self traffic
 			}

@@ -260,9 +260,11 @@ func ProjectAllOptical(net *topology.Network, tab *routing.Table, tm *traffic.Ma
 
 	var eSum, wSum, lossSum, worst float64
 	n := net.NumNodes()
+	row := make([]float64, n) // reusable per-source rate row (streamed matrices have no dense Rates)
 	for s := 0; s < n; s++ {
+		row = tm.Row(s, row)
 		for d := 0; d < n; d++ {
-			rate := tm.Rates[s][d]
+			rate := row[d]
 			if rate == 0 || s == d {
 				continue
 			}
@@ -338,9 +340,11 @@ func turnWeights(net *topology.Network, tab *routing.Table, tm *traffic.Matrix) 
 		return w, fmt.Errorf("optical: traffic size %d vs %d nodes", tm.N, net.NumNodes())
 	}
 	n := net.NumNodes()
+	row := make([]float64, n)
 	for s := 0; s < n; s++ {
+		row = tm.Row(s, row)
 		for d := 0; d < n; d++ {
-			rate := tm.Rates[s][d]
+			rate := row[d]
 			if rate == 0 || s == d {
 				continue
 			}

@@ -1,0 +1,229 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// monoGeometries is the kind×geometry differential grid: every registered
+// kind, rectangular and square extents, every express regime (none, short
+// hops, row-closure rings, both dimensions). The equivalence suite runs
+// the algorithmic backend against the constructive table on each.
+func monoGeometries(t testing.TB) []topology.Config {
+	t.Helper()
+	var cfgs []topology.Config
+	add := func(kind topology.Kind, w, h, hops int, both bool, conc int) {
+		c := topology.DefaultConfig()
+		c.Kind = kind
+		c.Width, c.Height = w, h
+		c.ExpressHops = hops
+		c.ExpressBothDims = both
+		c.Concentration = conc
+		if hops > 0 {
+			c.ExpressTech = tech.HyPPI
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("geometry %v %dx%d hops=%d both=%v: %v", kind, w, h, hops, both, err)
+		}
+		cfgs = append(cfgs, c)
+	}
+	// Plain meshes, including degenerate extents.
+	for _, g := range [][2]int{{2, 1}, {2, 2}, {3, 1}, {5, 4}, {8, 8}, {16, 3}} {
+		add(topology.Mesh, g[0], g[1], 0, false, 0)
+	}
+	// Express meshes: short hops, mid hops, and row-closure rings
+	// (hops = W−1, the paper's dateline configuration).
+	for _, g := range [][2]int{{4, 4}, {8, 8}, {16, 16}, {16, 4}, {5, 3}} {
+		w := g[0]
+		for _, hops := range []int{1, 2, 3, w - 1} {
+			if hops >= w {
+				continue
+			}
+			add(topology.Mesh, g[0], g[1], hops, false, 0)
+		}
+	}
+	// Express in both dimensions, including the column-closure ring.
+	add(topology.Mesh, 8, 8, 3, true, 0)
+	add(topology.Mesh, 8, 8, 7, true, 0)
+	add(topology.Mesh, 6, 4, 3, true, 0)
+	add(topology.Mesh, 4, 8, 3, true, 0)
+	// Tori (both dimensions are rings of base channels).
+	for _, g := range [][2]int{{3, 3}, {4, 4}, {5, 3}, {8, 8}, {7, 5}} {
+		add(topology.Torus, g[0], g[1], 0, false, 0)
+	}
+	// Concentrated meshes share the mesh link shape.
+	add(topology.CMesh, 4, 4, 0, false, 2)
+	add(topology.CMesh, 8, 8, 3, false, 4)
+	add(topology.CMesh, 8, 8, 7, false, 2)
+	return cfgs
+}
+
+// TestMonotoneAlgorithmicMatchesTable is the differential-equivalence
+// contract: on every monotone kind×geometry, the algorithmic backend's
+// next hop equals the constructive table's next hop for every (node, dst)
+// pair — bit-for-bit the same LinkID.
+func TestMonotoneAlgorithmicMatchesTable(t *testing.T) {
+	for _, c := range monoGeometries(t) {
+		net, err := topology.Build(c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !net.KindSpec().Monotone {
+			continue
+		}
+		tab, err := Build(net, MonotoneExpress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.alg == nil {
+			t.Fatalf("%v %dx%d hops=%d: expected algorithmic backend", c.Kind, c.Width, c.Height, c.ExpressHops)
+		}
+		ref := buildMonotoneTable(net)
+		nn := net.NumNodes()
+		for at := 0; at < nn; at++ {
+			for dst := 0; dst < nn; dst++ {
+				got := tab.NextLink(topology.NodeID(at), topology.NodeID(dst))
+				want := ref.NextLink(topology.NodeID(at), topology.NodeID(dst))
+				if got != want {
+					t.Fatalf("%v %dx%d hops=%d both=%v: next(%d,%d) = %d, table %d",
+						c.Kind, c.Width, c.Height, c.ExpressHops, c.ExpressBothDims, at, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNonMonotoneKindsKeepTables: fbfly reports Monotone = false and must
+// keep the generic dense table under MonotoneExpress — same interface,
+// table backend.
+func TestNonMonotoneKindsKeepTables(t *testing.T) {
+	c := topology.DefaultConfig()
+	c.Kind = topology.FBFly
+	c.Width, c.Height = 4, 4
+	net, err := topology.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, MonotoneExpress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.alg != nil || tab.next == nil {
+		t.Fatal("fbfly must use the table backend")
+	}
+}
+
+// TestMonotoneRoutingMemoryLinear asserts the scale contract: building
+// MonotoneExpress routing for a 64×64 express mesh allocates no per-pair
+// state — no n² table, and role lists bounded by a constant per node.
+func TestMonotoneRoutingMemoryLinear(t *testing.T) {
+	c := topology.DefaultConfig()
+	c.Width, c.Height = 64, 64
+	c.ExpressHops = 63 // row-closure rings, the paper's dateline regime
+	net, err := topology.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, MonotoneExpress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.next != nil {
+		t.Fatal("monotone kind materialized an n² next-hop table")
+	}
+	if tab.alg == nil {
+		t.Fatal("missing algorithmic backend")
+	}
+	nn := net.NumNodes()
+	roleEntries := 0
+	for _, dir := range [][][]dirLink{tab.alg.roles.east, tab.alg.roles.west, tab.alg.roles.south, tab.alg.roles.north} {
+		if len(dir) != nn {
+			t.Fatalf("role list spine has %d nodes, want %d", len(dir), nn)
+		}
+		for _, ls := range dir {
+			roleEntries += len(ls)
+		}
+	}
+	// Each of the ~4n links contributes at most two roles.
+	if max := 8 * nn; roleEntries > max {
+		t.Fatalf("%d role entries for %d nodes — not O(n) (cap %d)", roleEntries, nn, max)
+	}
+	// The backend still routes: spot-walk a corner-to-corner path.
+	if got := tab.HopCount(0, topology.NodeID(nn-1)); got <= 0 {
+		t.Fatalf("HopCount across the 64x64 grid = %d", got)
+	}
+}
+
+// FuzzNextHopEquivalence fuzzes the kind, grid shape, express
+// configuration and a (node, dst) pair, asserting the algorithmic
+// backend's next hop equals the constructive monotone table's — the same
+// differential contract as TestMonotoneAlgorithmicMatchesTable, driven by
+// fuzzed geometries. The checked-in seeds under testdata/fuzz cover every
+// registered kind and each express regime.
+func FuzzNextHopEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(4), uint8(0), false, uint8(0), uint8(15))
+	f.Add(uint8(0), uint8(8), uint8(8), uint8(7), false, uint8(5), uint8(60))
+	f.Add(uint8(0), uint8(16), uint8(16), uint8(15), false, uint8(255), uint8(0))
+	f.Add(uint8(0), uint8(8), uint8(8), uint8(3), true, uint8(9), uint8(54))
+	f.Add(uint8(0), uint8(2), uint8(1), uint8(0), false, uint8(0), uint8(1))
+	f.Add(uint8(1), uint8(5), uint8(3), uint8(0), false, uint8(7), uint8(12))
+	f.Add(uint8(1), uint8(8), uint8(8), uint8(0), false, uint8(63), uint8(1))
+	f.Add(uint8(2), uint8(4), uint8(4), uint8(2), false, uint8(3), uint8(11))
+	f.Add(uint8(3), uint8(4), uint8(4), uint8(0), false, uint8(0), uint8(15))
+	f.Fuzz(func(t *testing.T, kindRaw, w, h, hops uint8, both bool, atRaw, dstRaw uint8) {
+		kinds := topology.Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		c := topology.DefaultConfig()
+		c.Kind = kind
+		c.Width = 2 + int(w%15)  // 2..16
+		c.Height = 1 + int(h%16) // 1..16
+		switch kind {
+		case topology.Mesh, topology.CMesh:
+			c.ExpressHops = int(hops) % c.Width
+			c.ExpressBothDims = both
+			c.ExpressTech = tech.HyPPI
+			if kind == topology.CMesh {
+				c.Concentration = 1 + int(hops)%4
+			}
+		default:
+			// Torus and fbfly take no express links.
+		}
+		net, err := topology.Build(c)
+		if err != nil {
+			t.Skip() // configuration legitimately rejected
+		}
+		tab, err := Build(net, MonotoneExpress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.KindSpec().Monotone {
+			// Non-monotone kinds keep the table; nothing to differentiate.
+			if tab.alg != nil {
+				t.Fatalf("%v: unexpected algorithmic backend", kind)
+			}
+			return
+		}
+		if tab.alg == nil {
+			t.Fatalf("%v: expected algorithmic backend", kind)
+		}
+		ref := buildMonotoneTable(net)
+		nn := net.NumNodes()
+		// The fuzzed pair, plus its full row and column — cheap, and the
+		// corpus accumulates whole-matrix coverage across inputs.
+		at := topology.NodeID(int(atRaw) % nn)
+		dst := topology.NodeID(int(dstRaw) % nn)
+		for i := 0; i < nn; i++ {
+			n := topology.NodeID(i)
+			if got, want := tab.NextLink(at, n), ref.NextLink(at, n); got != want {
+				t.Fatalf("%v %dx%d hops=%d both=%v: next(%d,%d) = %d, table %d",
+					kind, c.Width, c.Height, c.ExpressHops, both, at, n, got, want)
+			}
+			if got, want := tab.NextLink(n, dst), ref.NextLink(n, dst); got != want {
+				t.Fatalf("%v %dx%d hops=%d both=%v: next(%d,%d) = %d, table %d",
+					kind, c.Width, c.Height, c.ExpressHops, both, n, dst, got, want)
+			}
+		}
+	})
+}

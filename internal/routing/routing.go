@@ -63,37 +63,50 @@ func (p Policy) String() string {
 // noLink marks "at destination" entries.
 const noLink = topology.LinkID(-1)
 
-// Table holds, for every (node, destination) pair, the out-channel to take.
+// Table answers, for every (node, destination) pair, the out-channel to
+// take. Two backends hide behind the same interface:
+//
+//   - algorithmic (monotone kinds under MonotoneExpress): next hops are
+//     computed on demand from O(n) per-node role lists by closed-form
+//     per-dimension ring formulas — no per-pair state at all, which is
+//     what lets 64×64+ geometries route in O(n) memory;
+//   - table (ShortestHops, and fbfly-style kinds without monotone
+//     phases): the generic dense [node][dst] next-hop matrix.
 type Table struct {
 	net    *topology.Network
 	policy Policy
-	next   [][]topology.LinkID // [node][dst]
+	next   [][]topology.LinkID // table backend [node][dst]; nil when alg is set
+	alg    *mono               // algorithmic backend; nil when next is set
 }
 
-// Build constructs a routing table for the network under the given policy.
-func Build(net *topology.Network, policy Policy) (*Table, error) {
-	nn := net.NumNodes()
-	t := &Table{
-		net:    net,
-		policy: policy,
-		next:   make([][]topology.LinkID, nn),
-	}
+// allocNext allocates the dense table backend, all entries noLink.
+func (t *Table) allocNext() {
+	nn := t.net.NumNodes()
+	t.next = make([][]topology.LinkID, nn)
+	backing := make([]topology.LinkID, nn*nn)
 	for i := range t.next {
-		t.next[i] = make([]topology.LinkID, nn)
+		t.next[i], backing = backing[:nn], backing[nn:]
 		for j := range t.next[i] {
 			t.next[i][j] = noLink
 		}
 	}
+}
+
+// Build constructs a routing table for the network under the given policy.
+func Build(net *topology.Network, policy Policy) (*Table, error) {
+	t := &Table{net: net, policy: policy}
 	switch policy {
 	case MonotoneExpress:
 		if net.KindSpec().Monotone {
-			t.buildMonotone()
+			t.alg = newMono(net)
 		} else {
 			// Generic fallback for kinds without dimension-ordered
 			// monotone phases (see the package comment).
+			t.allocNext()
 			t.buildShortest()
 		}
 	case ShortestHops:
+		t.allocNext()
 		t.buildShortest()
 	default:
 		return nil, fmt.Errorf("routing: unknown policy %v", policy)
@@ -122,22 +135,28 @@ type dirLink struct {
 	id     topology.LinkID
 }
 
-// buildMonotone constructs the dimension-ordered table. Each dimension's
-// phase routes on its row/column treated as a line (plain and short-hop
-// configurations) or a ring (row/column-closure express channels double as
-// wraparounds): both ring directions are walked greedily (largest aligned,
-// non-overshooting stride first) and the shorter feasible one wins, ties
-// avoiding the dateline, then going in the positive direction. Movement
-// never mixes ring directions within a phase, so with dateline VC switching
-// on wrap channels the policy is deadlock-free. X completes before Y.
-func (t *Table) buildMonotone() {
-	net := t.net
+// dirRoles holds the per-node direction role lists of a monotone kind:
+// every channel, keyed by the ring direction it can serve and the stride
+// it covers. Role lists are sorted by descending stride (ties: lower link
+// ID, i.e. base before express), so a greedy largest-first scan picks the
+// dimension-ordered express route. Total size is O(n) — each link
+// contributes at most two roles.
+type dirRoles struct {
+	east, west   [][]dirLink // positive / negative X
+	south, north [][]dirLink // positive / negative Y (grid rows grow southward)
+}
+
+// buildRoles classifies every channel of a monotone-kind network into
+// direction roles. Row/column-closure channels (datelines) serve both ring
+// directions: their wrap role covers the complementary stride.
+func buildRoles(net *topology.Network) *dirRoles {
 	nn := net.NumNodes()
-	// Role lists per node: positive/negative X, positive/negative Y.
-	east := make([][]dirLink, nn)
-	west := make([][]dirLink, nn)
-	south := make([][]dirLink, nn) // +Y (grid rows grow southward)
-	north := make([][]dirLink, nn)
+	r := &dirRoles{
+		east:  make([][]dirLink, nn),
+		west:  make([][]dirLink, nn),
+		south: make([][]dirLink, nn),
+		north: make([][]dirLink, nn),
+	}
 	addRole := func(m [][]dirLink, at topology.NodeID, stride int, id topology.LinkID) {
 		// Keep role lists sorted by descending stride; on ties the
 		// lower link ID (base before express) wins.
@@ -157,32 +176,61 @@ func (t *Table) buildMonotone() {
 	for _, l := range net.Links {
 		if dx := l.DX(net); dx != 0 {
 			if dx > 0 {
-				addRole(east, l.Src, dx, l.ID)
+				addRole(r.east, l.Src, dx, l.ID)
 				if l.Dateline {
-					addRole(west, l.Src, net.Width-dx, l.ID)
+					addRole(r.west, l.Src, net.Width-dx, l.ID)
 				}
 			} else {
-				addRole(west, l.Src, -dx, l.ID)
+				addRole(r.west, l.Src, -dx, l.ID)
 				if l.Dateline {
-					addRole(east, l.Src, net.Width+dx, l.ID)
+					addRole(r.east, l.Src, net.Width+dx, l.ID)
 				}
 			}
 			continue
 		}
 		if dy := l.DY(net); dy != 0 {
 			if dy > 0 {
-				addRole(south, l.Src, dy, l.ID)
+				addRole(r.south, l.Src, dy, l.ID)
 				if l.Dateline {
-					addRole(north, l.Src, net.Height-dy, l.ID)
+					addRole(r.north, l.Src, net.Height-dy, l.ID)
 				}
 			} else {
-				addRole(north, l.Src, -dy, l.ID)
+				addRole(r.north, l.Src, -dy, l.ID)
 				if l.Dateline {
-					addRole(south, l.Src, net.Height+dy, l.ID)
+					addRole(r.south, l.Src, net.Height+dy, l.ID)
 				}
 			}
 		}
 	}
+	return r
+}
+
+// buildMonotoneTable materializes the monotone dimension-ordered policy
+// into a dense next-hop table by literally walking the role lists for
+// every pair. The algorithmic backend (mono) replaces it in production;
+// it is kept as the ground truth the differential-equivalence tests and
+// fuzz corpus compare mono against, so the closed forms can never drift
+// from the constructive definition.
+func buildMonotoneTable(net *topology.Network) *Table {
+	t := &Table{net: net, policy: MonotoneExpress}
+	t.allocNext()
+	t.buildMonotone()
+	return t
+}
+
+// buildMonotone constructs the dimension-ordered table. Each dimension's
+// phase routes on its row/column treated as a line (plain and short-hop
+// configurations) or a ring (row/column-closure express channels double as
+// wraparounds): both ring directions are walked greedily (largest aligned,
+// non-overshooting stride first) and the shorter feasible one wins, ties
+// avoiding the dateline, then going in the positive direction. Movement
+// never mixes ring directions within a phase, so with dateline VC switching
+// on wrap channels the policy is deadlock-free. X completes before Y.
+func (t *Table) buildMonotone() {
+	net := t.net
+	nn := net.NumNodes()
+	roles := buildRoles(net)
+	east, west, south, north := roles.east, roles.west, roles.south, roles.north
 
 	// walk greedily follows one direction's role links from at; returns
 	// hop count, the first link, and whether the path crosses a dateline
@@ -350,6 +398,9 @@ func (t *Table) shortestNext(at, dst topology.NodeID, dist []int) topology.LinkI
 // NextLink returns the out-channel to take at `at` heading for `dst`, or
 // -1 when at == dst.
 func (t *Table) NextLink(at, dst topology.NodeID) topology.LinkID {
+	if t.alg != nil {
+		return t.alg.nextLink(at, dst)
+	}
 	return t.next[at][dst]
 }
 
@@ -362,8 +413,8 @@ func (t *Table) NextLink(at, dst topology.NodeID) topology.LinkID {
 // error return) keeps Hop inlinable: the walkers loop over it in the
 // design-space sweep's hottest path, allocation-free.
 func (t *Table) Hop(at, dst topology.NodeID, hops int) *topology.Link {
-	lid := t.next[at][dst]
-	if lid == noLink || hops >= len(t.next) {
+	lid := t.NextLink(at, dst)
+	if lid == noLink || hops >= t.net.NumNodes() {
 		return nil
 	}
 	return &t.net.Links[lid]
@@ -371,10 +422,10 @@ func (t *Table) Hop(at, dst topology.NodeID, hops int) *topology.Link {
 
 // HopErr reports why Hop(at, dst, hops) returned nil.
 func (t *Table) HopErr(at, dst topology.NodeID, hops int) error {
-	if t.next[at][dst] == noLink {
+	if t.NextLink(at, dst) == noLink {
 		return fmt.Errorf("routing: no route -> %d at %d", dst, at)
 	}
-	if hops >= len(t.next) {
+	if hops >= t.net.NumNodes() {
 		return fmt.Errorf("routing: path to %d exceeds node count; table is cyclic", dst)
 	}
 	return nil

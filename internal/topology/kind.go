@@ -22,6 +22,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -165,6 +166,27 @@ func ParseKinds(spec string) ([]Kind, error) {
 	return out, nil
 }
 
+// ParseGrid resolves a "WxH" grid specification ("64x64", "16x4"; the
+// separator is case-insensitive) into its width and height. It validates
+// only the syntax and positivity — kind-specific extent rules stay with
+// Config.Validate.
+func ParseGrid(spec string) (w, h int, err error) {
+	s := strings.TrimSpace(spec)
+	i := strings.IndexAny(s, "xX")
+	if i < 0 {
+		return 0, 0, fmt.Errorf("topology: grid %q not of the form WxH", spec)
+	}
+	w, errW := strconv.Atoi(strings.TrimSpace(s[:i]))
+	h, errH := strconv.Atoi(strings.TrimSpace(s[i+1:]))
+	if errW != nil || errH != nil {
+		return 0, 0, fmt.Errorf("topology: grid %q not of the form WxH", spec)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("topology: grid %q must have positive extents", spec)
+	}
+	return w, h, nil
+}
+
 // pitchM returns the router-to-router link pitch: the core spacing scaled
 // by √c for concentrated kinds (each router tile covers c cores, so the
 // router array is √c times coarser than the core array).
@@ -183,13 +205,13 @@ func pitchM(c Config) float64 {
 // builder.
 func validateMeshFamily(c Config) error {
 	if c.Width < 2 || c.Height < 1 {
-		return fmt.Errorf("topology: grid %dx%d too small", c.Width, c.Height)
+		return fmt.Errorf("topology: %v grid %dx%d too small", c.Kind, c.Width, c.Height)
 	}
 	if c.ExpressHops > 0 && c.ExpressHops >= c.Width {
-		return fmt.Errorf("topology: express hops %d must be below width %d", c.ExpressHops, c.Width)
+		return fmt.Errorf("topology: %v express hops %d must be below width %d", c.Kind, c.ExpressHops, c.Width)
 	}
 	if c.ExpressBothDims && c.ExpressHops > 0 && c.ExpressHops >= c.Height {
-		return fmt.Errorf("topology: express hops %d must be below height %d", c.ExpressHops, c.Height)
+		return fmt.Errorf("topology: %v express hops %d must be below height %d", c.Kind, c.ExpressHops, c.Height)
 	}
 	return nil
 }
@@ -395,7 +417,7 @@ func init() {
 		Monotone: false, // all-to-all rows: routed by the generic shortest-path fallback
 		Validate: func(c Config) error {
 			if c.Width < 2 || c.Height < 1 {
-				return fmt.Errorf("topology: grid %dx%d too small", c.Width, c.Height)
+				return fmt.Errorf("topology: %v grid %dx%d too small", c.Kind, c.Width, c.Height)
 			}
 			return rejectExpress(c, "rows and columns are already fully connected")
 		},

@@ -266,3 +266,82 @@ func TestKindParseErrorsListRegisteredNames(t *testing.T) {
 		t.Errorf("LookupKind error should list names: %v", err)
 	}
 }
+
+// TestKindValidateErrorsNameKind: every Validate rejection of a bad
+// geometry must name the topology kind, so a sweep over many kinds
+// reports which family rejected its configuration (mirrors the ParseKinds
+// error-listing fix).
+func TestKindValidateErrorsNameKind(t *testing.T) {
+	mutate := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		kind Kind
+	}{
+		{"mesh grid too small", mutate(func(c *Config) { c.Width, c.Height = 1, 1 }), Mesh},
+		{"mesh express hops oversized", mutate(func(c *Config) {
+			c.Width, c.Height, c.ExpressHops = 4, 4, 4
+		}), Mesh},
+		{"mesh express hops oversized for height", mutate(func(c *Config) {
+			c.Width, c.Height, c.ExpressHops, c.ExpressBothDims = 8, 4, 5, true
+		}), Mesh},
+		{"mesh negative express hops", mutate(func(c *Config) { c.ExpressHops = -1 }), Mesh},
+		{"torus grid too small", mutate(func(c *Config) {
+			c.Kind, c.Width, c.Height = Torus, 2, 2
+		}), Torus},
+		{"cmesh grid too small", mutate(func(c *Config) {
+			c.Kind, c.Width, c.Height = CMesh, 1, 4
+		}), CMesh},
+		{"cmesh express hops oversized", mutate(func(c *Config) {
+			c.Kind, c.Width, c.Height, c.ExpressHops = CMesh, 4, 4, 7
+		}), CMesh},
+		{"fbfly grid too small", mutate(func(c *Config) {
+			c.Kind, c.Width, c.Height = FBFly, 1, 3
+		}), FBFly},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), string(tc.kind)) {
+			t.Errorf("%s: error does not name kind %q: %v", tc.name, tc.kind, err)
+		}
+	}
+}
+
+// TestParseGrid covers the CLI "WxH" grid syntax: accepted forms, the
+// parsed extents, and rejection with a message naming the bad spec.
+func TestParseGrid(t *testing.T) {
+	good := []struct {
+		spec string
+		w, h int
+	}{
+		{"8x8", 8, 8},
+		{"64x64", 64, 64},
+		{"16X4", 16, 4},
+		{" 5 x 3 ", 5, 3},
+	}
+	for _, tc := range good {
+		w, h, err := ParseGrid(tc.spec)
+		if err != nil {
+			t.Errorf("ParseGrid(%q): %v", tc.spec, err)
+			continue
+		}
+		if w != tc.w || h != tc.h {
+			t.Errorf("ParseGrid(%q) = %dx%d, want %dx%d", tc.spec, w, h, tc.w, tc.h)
+		}
+	}
+	for _, spec := range []string{"", "8", "x8", "8x", "8x8x8", "-4x4", "0x8", "axb"} {
+		if _, _, err := ParseGrid(spec); err == nil {
+			t.Errorf("ParseGrid(%q) accepted", spec)
+		} else if !strings.Contains(err.Error(), spec) {
+			t.Errorf("ParseGrid(%q) error does not name the spec: %v", spec, err)
+		}
+	}
+}

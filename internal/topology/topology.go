@@ -131,19 +131,19 @@ func (c Config) Validate() error {
 		return err
 	}
 	if c.Width < 1 || c.Height < 1 || c.Width*c.Height < 2 {
-		return fmt.Errorf("topology: grid %dx%d too small", c.Width, c.Height)
+		return fmt.Errorf("topology: %v grid %dx%d too small", c.Kind, c.Width, c.Height)
 	}
 	if c.CoreSpacingM <= 0 {
-		return fmt.Errorf("topology: non-positive core spacing %v", c.CoreSpacingM)
+		return fmt.Errorf("topology: %v non-positive core spacing %v", c.Kind, c.CoreSpacingM)
 	}
 	if c.CapacityBps <= 0 {
-		return fmt.Errorf("topology: non-positive capacity %v", c.CapacityBps)
+		return fmt.Errorf("topology: %v non-positive capacity %v", c.Kind, c.CapacityBps)
 	}
 	if c.ExpressHops < 0 {
-		return fmt.Errorf("topology: negative express hops %d", c.ExpressHops)
+		return fmt.Errorf("topology: %v negative express hops %d", c.Kind, c.ExpressHops)
 	}
 	if c.Concentration < 0 {
-		return fmt.Errorf("topology: negative concentration %d", c.Concentration)
+		return fmt.Errorf("topology: %v negative concentration %d", c.Kind, c.Concentration)
 	}
 	if c.Kind != CMesh && c.Concentration > 1 {
 		return fmt.Errorf("topology: concentration %d applies to cmesh only, not %v", c.Concentration, c.Kind)

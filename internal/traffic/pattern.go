@@ -117,18 +117,17 @@ func ParsePatterns(spec string) ([]Pattern, error) {
 	return out, nil
 }
 
-// permutation fills a matrix from a source→destination map: every node
-// with a distinct image sends its whole rate there; fixed points stay
-// silent (standard for transpose diagonals and odd-node bit complement).
+// permutation builds a streamed matrix from a source→destination map:
+// every node with a distinct image sends its whole rate there; fixed
+// points stay silent (standard for transpose diagonals and odd-node bit
+// complement). Only the O(n) image table is stored.
 func permutation(net *topology.Network, rate float64, dst func(s int) int) *Matrix {
 	n := net.NumNodes()
-	m := NewMatrix(n)
+	to := make([]int32, n)
 	for s := 0; s < n; s++ {
-		if d := dst(s); d != s {
-			m.Rates[s][d] = rate
-		}
+		to[s] = int32(dst(s))
 	}
-	return m
+	return newStreamed(n, &permGen{n: n, peak: rate, to: to}, 1)
 }
 
 // requireSquare rejects non-square grids for coordinate-swap patterns.
@@ -152,16 +151,7 @@ func requirePow2(net *topology.Network, name string) (int, error) {
 
 func genUniform(net *topology.Network, rate float64) (*Matrix, error) {
 	n := net.NumNodes()
-	m := NewMatrix(n)
-	per := rate / float64(n-1)
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s != d {
-				m.Rates[s][d] = per
-			}
-		}
-	}
-	return m, nil
+	return newStreamed(n, uniformGen{n: n, per: rate / float64(n-1)}, 1), nil
 }
 
 func genTranspose(net *topology.Network, rate float64) (*Matrix, error) {
@@ -216,23 +206,7 @@ func genTornado(net *topology.Network, rate float64) (*Matrix, error) {
 }
 
 func genNeighbor(net *topology.Network, rate float64) (*Matrix, error) {
-	n := net.NumNodes()
-	m := NewMatrix(n)
-	for s := 0; s < n; s++ {
-		src := topology.NodeID(s)
-		x, y := net.X(src), net.Y(src)
-		var nbrs []int
-		for _, c := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
-			if c[0] >= 0 && c[0] < net.Width && c[1] >= 0 && c[1] < net.Height {
-				nbrs = append(nbrs, int(net.Node(c[0], c[1])))
-			}
-		}
-		per := rate / float64(len(nbrs))
-		for _, d := range nbrs {
-			m.Rates[s][d] = per
-		}
-	}
-	return m, nil
+	return newStreamed(net.NumNodes(), &neighborGen{net: net, peak: rate}, 1), nil
 }
 
 // Hotspot concentrates a fraction of every node's traffic on a small set
@@ -269,11 +243,13 @@ func (h Hotspot) Generate(net *topology.Network, rate float64) (*Matrix, error) 
 		return nil, fmt.Errorf("traffic: hotspot fraction %v out of (0,1]", h.Fraction)
 	}
 	n := net.NumNodes()
-	hot := h.Nodes
+	// Copy the hot list: the generator outlives this call and must not
+	// alias caller-owned memory.
+	hot := append([]topology.NodeID(nil), h.Nodes...)
 	if len(hot) == 0 {
 		hot = []topology.NodeID{net.Node(net.Width/2, net.Height/2)}
 	}
-	isHot := make(map[topology.NodeID]bool, len(hot))
+	isHot := make([]bool, n)
 	for _, id := range hot {
 		if int(id) < 0 || int(id) >= n {
 			return nil, fmt.Errorf("traffic: hotspot node %d outside %d-node network", id, n)
@@ -283,36 +259,12 @@ func (h Hotspot) Generate(net *topology.Network, rate float64) (*Matrix, error) 
 		}
 		isHot[id] = true
 	}
-	m := NewMatrix(n)
-	for s := 0; s < n; s++ {
-		src := topology.NodeID(s)
-		// Hot share: split across hot destinations other than the source
-		// itself; a source that is the only hot node spreads its share
-		// uniformly instead, so every row still sums to rate.
-		targets := 0
-		for _, d := range hot {
-			if d != src {
-				targets++
-			}
-		}
-		uniform := rate * (1 - h.Fraction) / float64(n-1)
-		hotPer := 0.0
-		if targets > 0 {
-			hotPer = rate * h.Fraction / float64(targets)
-		} else {
-			uniform = rate / float64(n-1)
-		}
-		for d := 0; d < n; d++ {
-			if d == s {
-				continue
-			}
-			m.Rates[s][d] = uniform
-			if isHot[topology.NodeID(d)] {
-				m.Rates[s][d] += hotPer
-			}
-		}
-	}
-	return m, nil
+	// Hot share: split across hot destinations other than the source
+	// itself; a source that is the only hot node spreads its share
+	// uniformly instead, so every row still sums to rate (see
+	// hotspotGen.split).
+	g := &hotspotGen{n: n, peak: rate, fraction: h.Fraction, hot: hot, isHot: isHot}
+	return newStreamed(n, g, 1), nil
 }
 
 // DefaultHotspotFraction is the registry default: 20% of every node's

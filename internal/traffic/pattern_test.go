@@ -113,8 +113,8 @@ func TestPermutationGolden4x4(t *testing.T) {
 				if want[s] == d {
 					wantRate = rate
 				}
-				if m.Rates[s][d] != wantRate {
-					t.Errorf("%s: rate[%d][%d] = %v, want %v", name, s, d, m.Rates[s][d], wantRate)
+				if m.Rate(s, d) != wantRate {
+					t.Errorf("%s: rate[%d][%d] = %v, want %v", name, s, d, m.Rate(s, d), wantRate)
 				}
 			}
 		}
@@ -135,8 +135,8 @@ func TestUniformGolden4x4(t *testing.T) {
 			if s == d {
 				wantRate = 0
 			}
-			if !units.ApproxEqual(m.Rates[s][d], wantRate, 1e-12) {
-				t.Fatalf("uniform rate[%d][%d] = %v, want %v", s, d, m.Rates[s][d], wantRate)
+			if !units.ApproxEqual(m.Rate(s, d), wantRate, 1e-12) {
+				t.Fatalf("uniform rate[%d][%d] = %v, want %v", s, d, m.Rate(s, d), wantRate)
 			}
 		}
 	}
@@ -150,24 +150,24 @@ func TestNeighborGolden4x4(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corner (0,0): two neighbors at rate/2.
-	if got := m.Rates[0][1]; !units.ApproxEqual(got, 0.06, 1e-12) {
+	if got := m.Rate(0, 1); !units.ApproxEqual(got, 0.06, 1e-12) {
 		t.Errorf("corner east rate = %v, want 0.06", got)
 	}
-	if got := m.Rates[0][4]; !units.ApproxEqual(got, 0.06, 1e-12) {
+	if got := m.Rate(0, 4); !units.ApproxEqual(got, 0.06, 1e-12) {
 		t.Errorf("corner south rate = %v, want 0.06", got)
 	}
 	// Edge (1,0): three neighbors at rate/3.
-	if got := m.Rates[1][2]; !units.ApproxEqual(got, 0.04, 1e-12) {
+	if got := m.Rate(1, 2); !units.ApproxEqual(got, 0.04, 1e-12) {
 		t.Errorf("edge rate = %v, want 0.04", got)
 	}
 	// Interior (1,1) = node 5: four neighbors at rate/4.
 	for _, d := range []int{4, 6, 1, 9} {
-		if got := m.Rates[5][d]; !units.ApproxEqual(got, 0.03, 1e-12) {
+		if got := m.Rate(5, d); !units.ApproxEqual(got, 0.03, 1e-12) {
 			t.Errorf("interior rate[5][%d] = %v, want 0.03", d, got)
 		}
 	}
 	// Nothing beyond distance 1.
-	if m.Rates[5][7] != 0 || m.Rates[0][5] != 0 {
+	if m.Rate(5, 7) != 0 || m.Rate(0, 5) != 0 {
 		t.Error("neighbor pattern must not reach past distance 1")
 	}
 }
@@ -191,8 +191,8 @@ func TestHotspotGolden4x4(t *testing.T) {
 				if d == s {
 					want = 0
 				}
-				if !units.ApproxEqual(m.Rates[s][d], want, 1e-12) {
-					t.Fatalf("hotspot rate[center][%d] = %v, want %v", d, m.Rates[s][d], want)
+				if !units.ApproxEqual(m.Rate(s, d), want, 1e-12) {
+					t.Fatalf("hotspot rate[center][%d] = %v, want %v", d, m.Rate(s, d), want)
 				}
 			}
 			continue
@@ -205,8 +205,8 @@ func TestHotspotGolden4x4(t *testing.T) {
 			case d == center:
 				want = hot
 			}
-			if !units.ApproxEqual(m.Rates[s][d], want, 1e-12) {
-				t.Fatalf("hotspot rate[%d][%d] = %v, want %v", s, d, m.Rates[s][d], want)
+			if !units.ApproxEqual(m.Rate(s, d), want, 1e-12) {
+				t.Fatalf("hotspot rate[%d][%d] = %v, want %v", s, d, m.Rate(s, d), want)
 			}
 		}
 	}
@@ -240,7 +240,7 @@ func TestPatternProperties(t *testing.T) {
 			for s := 0; s < m.N; s++ {
 				var dests []int
 				for d := 0; d < m.N; d++ {
-					if m.Rates[s][d] != 0 {
+					if m.Rate(s, d) != 0 {
 						dests = append(dests, d)
 					}
 				}
@@ -248,8 +248,8 @@ func TestPatternProperties(t *testing.T) {
 					t.Errorf("%s on %dx%d: source %d has %d destinations", p.Name(), g[0], g[1], s, len(dests))
 				}
 				if len(dests) == 1 {
-					if m.Rates[s][dests[0]] != rate {
-						t.Errorf("%s: split rate %v at source %d", p.Name(), m.Rates[s][dests[0]], s)
+					if m.Rate(s, dests[0]) != rate {
+						t.Errorf("%s: split rate %v at source %d", p.Name(), m.Rate(s, dests[0]), s)
 					}
 					if seen[dests[0]] {
 						t.Errorf("%s on %dx%d: destination %d reused", p.Name(), g[0], g[1], dests[0])
@@ -322,7 +322,7 @@ func TestHotspotValidation(t *testing.T) {
 		}
 	}
 	// Source 0 is hot: its whole hot share lands on node 15.
-	if got, want := m.Rates[0][15], 0.2*0.5/1+0.2*0.5/15; !units.ApproxEqual(got, want, 1e-12) {
+	if got, want := m.Rate(0, 15), 0.2*0.5/1+0.2*0.5/15; !units.ApproxEqual(got, want, 1e-12) {
 		t.Errorf("hot source rate[0][15] = %v, want %v", got, want)
 	}
 }
@@ -350,7 +350,7 @@ func TestConstructorsMatchRegistry(t *testing.T) {
 		}
 		for s := 0; s < want.N; s++ {
 			for d := 0; d < want.N; d++ {
-				if c.m.Rates[s][d] != want.Rates[s][d] {
+				if c.m.Rate(s, d) != want.Rate(s, d) {
 					t.Fatalf("%s: constructor and registry diverge at [%d][%d]", c.name, s, d)
 				}
 			}

@@ -1,0 +1,198 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// denseSoteriouReference is the historical dense Soteriou builder, kept
+// verbatim as the bit-exactness oracle for the streamed implementation.
+func denseSoteriouReference(t *testing.T, net *topology.Network, cfg SoteriouConfig) *Matrix {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := net.NumNodes()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	levels := make([]float64, n)
+	maxLevel := 0.0
+	for i := range levels {
+		v := rng.NormFloat64()*cfg.Sigma + levelMeanFactor*cfg.Sigma
+		v = math.Max(0, math.Min(1, v))
+		levels[i] = v
+		if v > maxLevel {
+			maxLevel = v
+		}
+	}
+	if maxLevel == 0 {
+		t.Fatal("degenerate draw")
+	}
+	m := NewMatrix(n)
+	maxDist := net.Width + net.Height
+	counts := make([]int, maxDist)
+	hopW := make([]float64, maxDist)
+	for s := 0; s < n; s++ {
+		src := topology.NodeID(s)
+		for h := range counts {
+			counts[h] = 0
+		}
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			counts[net.Distance(src, topology.NodeID(d))]++
+		}
+		var totalW float64
+		for h := 1; h < maxDist; h++ {
+			if counts[h] == 0 {
+				hopW[h] = 0
+				continue
+			}
+			w := cfg.P * math.Pow(1-cfg.P, float64(h-1))
+			hopW[h] = w
+			totalW += w
+		}
+		rate := cfg.MaxInjectionRate * levels[s] / maxLevel
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			h := net.Distance(src, topology.NodeID(d))
+			m.Rates[s][d] = rate * hopW[h] / totalW / float64(counts[h])
+		}
+	}
+	return m
+}
+
+// densify materializes any matrix through the Rate accessor.
+func densify(m *Matrix) *Matrix {
+	out := NewMatrix(m.N)
+	for s := 0; s < m.N; s++ {
+		for d := 0; d < m.N; d++ {
+			out.Rates[s][d] = m.Rate(s, d)
+		}
+	}
+	return out
+}
+
+// TestSoteriouStreamedBitIdentical: the streamed Soteriou matches the
+// historical dense builder bit for bit — entries, row sums, and one
+// ScaledToMaxRate step (the sweep idiom).
+func TestSoteriouStreamedBitIdentical(t *testing.T) {
+	net := mesh(t)
+	cfg := DefaultSoteriou()
+	streamed := MustSoteriou(net, cfg)
+	if !streamed.Streamed() {
+		t.Fatal("Soteriou must produce a streamed matrix")
+	}
+	dense := denseSoteriouReference(t, net, cfg)
+	for s := 0; s < dense.N; s++ {
+		for d := 0; d < dense.N; d++ {
+			if got, want := streamed.Rate(s, d), dense.Rates[s][d]; got != want {
+				t.Fatalf("entry [%d][%d] = %v, dense reference %v", s, d, got, want)
+			}
+		}
+		if got, want := streamed.RowSum(s), dense.RowSum(s); got != want {
+			t.Fatalf("row sum %d = %v, dense reference %v", s, got, want)
+		}
+	}
+	if got, want := streamed.MaxRowSum(), dense.MaxRowSum(); got != want {
+		t.Fatalf("max row sum %v, dense %v", got, want)
+	}
+	sS, sD := streamed.ScaledToMaxRate(0.05), dense.ScaledToMaxRate(0.05)
+	for s := 0; s < dense.N; s++ {
+		for d := 0; d < dense.N; d++ {
+			if got, want := sS.Rate(s, d), sD.Rates[s][d]; got != want {
+				t.Fatalf("scaled entry [%d][%d] = %v, dense %v", s, d, got, want)
+			}
+		}
+		if got, want := sS.RowSum(s), sD.RowSum(s); got != want {
+			t.Fatalf("scaled row sum %d = %v, dense %v", s, got, want)
+		}
+	}
+}
+
+// TestStreamedAccessorsConsistent: for every registry pattern (and
+// Soteriou) on square and rectangular grids, the streamed accessors agree
+// among themselves and with a densified copy — Rate vs Row entries, and
+// RowSum bit-identical to a left-to-right dense row sum.
+func TestStreamedAccessorsConsistent(t *testing.T) {
+	for _, g := range [][2]int{{4, 4}, {8, 8}, {5, 3}} {
+		net := grid(t, g[0], g[1])
+		mats := map[string]*Matrix{"soteriou": MustSoteriou(net, DefaultSoteriou())}
+		for _, p := range Patterns() {
+			m, err := p.Generate(net, 0.1)
+			if err != nil {
+				continue // structural precondition, covered elsewhere
+			}
+			mats[p.Name()] = m
+		}
+		for name, m := range mats {
+			if !m.Streamed() {
+				t.Fatalf("%s on %dx%d: expected streamed matrix", name, g[0], g[1])
+			}
+			dense := densify(m)
+			row := make([]float64, m.N)
+			for s := 0; s < m.N; s++ {
+				row = m.Row(s, row)
+				for d := 0; d < m.N; d++ {
+					if row[d] != dense.Rates[s][d] {
+						t.Fatalf("%s: Row/Rate diverge at [%d][%d]: %v vs %v",
+							name, s, d, row[d], dense.Rates[s][d])
+					}
+				}
+				if got, want := m.RowSum(s), dense.RowSum(s); got != want {
+					t.Fatalf("%s: RowSum(%d) = %v, dense %v", name, s, got, want)
+				}
+			}
+			if got, want := m.MaxRowSum(), dense.MaxRowSum(); got != want {
+				t.Fatalf("%s: MaxRowSum %v, dense %v", name, got, want)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// One scaling step stays bit-identical to scaling the dense copy.
+			mS, dS := m.Scaled(0.37), dense.Scaled(0.37)
+			for s := 0; s < m.N; s++ {
+				rowS := mS.Row(s, row)
+				for d := 0; d < m.N; d++ {
+					if rowS[d] != dS.Rates[s][d] {
+						t.Fatalf("%s: scaled diverges at [%d][%d]", name, s, d)
+					}
+				}
+				if mS.RowSum(s) != dS.RowSum(s) {
+					t.Fatalf("%s: scaled RowSum(%d) diverges", name, s)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedMemoryStaysLinear: generating big patterns must not
+// materialize n² entries — the whole point of the streamed form.
+func TestStreamedMemoryStaysLinear(t *testing.T) {
+	c := topology.DefaultConfig()
+	c.Width, c.Height = 64, 64
+	net, err := topology.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Patterns() {
+		m, err := p.Generate(net, 0.1)
+		if err != nil {
+			t.Fatalf("%s must support 64x64: %v", p.Name(), err)
+		}
+		if m.Rates != nil {
+			t.Errorf("%s materialized a dense 64x64 matrix", p.Name())
+		}
+		if got := m.ScaledToMaxRate(0.01); got.Rates != nil {
+			t.Errorf("%s: scaling densified the matrix", p.Name())
+		}
+	}
+	if m := MustSoteriou(net, DefaultSoteriou()); m.Rates != nil {
+		t.Error("Soteriou materialized a dense 64x64 matrix")
+	}
+}

@@ -29,12 +29,25 @@ import (
 )
 
 // Matrix is a source×destination rate matrix in flits per cycle.
+//
+// It comes in two forms. A dense matrix (NewMatrix) materializes all n²
+// entries in Rates and may be mutated in place. A streamed matrix (what
+// every registry pattern and Soteriou produce) keeps a closed-form
+// generator plus O(n) row sums and computes entries on demand; Rates is
+// nil. Both forms answer the same accessors — Rate, Row, RowSum, Scaled —
+// with bit-identical values, so consumers iterate rows through Row instead
+// of indexing Rates directly.
 type Matrix struct {
-	N     int
+	N int
+	// Rates is the dense entry storage; nil for streamed matrices.
 	Rates [][]float64
+
+	gen     generator // streamed backend (nil when dense)
+	scale   float64   // streamed: multiplier applied to every generator entry
+	rowSums []float64 // streamed: per-row sums at the current scale
 }
 
-// NewMatrix allocates an all-zero N×N matrix.
+// NewMatrix allocates an all-zero dense N×N matrix.
 func NewMatrix(n int) *Matrix {
 	r := make([][]float64, n)
 	backing := make([]float64, n*n)
@@ -44,8 +57,47 @@ func NewMatrix(n int) *Matrix {
 	return &Matrix{N: n, Rates: r}
 }
 
+// Streamed reports whether the matrix is the O(n)-memory on-demand form.
+func (m *Matrix) Streamed() bool { return m.gen != nil }
+
+// Rate returns entry (s, d) in flits/cycle.
+func (m *Matrix) Rate(s, d int) float64 {
+	if m.gen == nil {
+		return m.Rates[s][d]
+	}
+	if s == d {
+		return 0
+	}
+	return m.gen.rate(s, d) * m.scale
+}
+
+// Row materializes row s into dst (reallocated when too small) and returns
+// it — the O(n) scratch-buffer idiom for iterating a matrix without holding
+// n² entries. Callers reuse one buffer across rows; concurrent callers use
+// separate buffers.
+func (m *Matrix) Row(s int, dst []float64) []float64 {
+	if cap(dst) < m.N {
+		dst = make([]float64, m.N)
+	}
+	dst = dst[:m.N]
+	if m.gen == nil {
+		copy(dst, m.Rates[s])
+		return dst
+	}
+	m.gen.fillRow(s, dst)
+	if m.scale != 1 {
+		for i := range dst {
+			dst[i] *= m.scale
+		}
+	}
+	return dst
+}
+
 // RowSum returns the total injection rate of source s in flits/cycle.
 func (m *Matrix) RowSum(s int) float64 {
+	if m.gen != nil {
+		return m.rowSums[s]
+	}
 	var sum float64
 	for _, v := range m.Rates[s] {
 		sum += v
@@ -75,7 +127,13 @@ func (m *Matrix) MeanRowSum() float64 {
 }
 
 // Scaled returns a copy of the matrix with every rate multiplied by f.
+// Scaling a streamed matrix stays streamed: the multiplier folds into the
+// matrix's scale, so one Scaled/ScaledToMaxRate step from a generated
+// matrix (the sweep idiom) reproduces the dense entries bit-for-bit.
 func (m *Matrix) Scaled(f float64) *Matrix {
+	if m.gen != nil {
+		return newStreamed(m.N, m.gen, m.scale*f)
+	}
 	out := NewMatrix(m.N)
 	for s := range m.Rates {
 		for d, v := range m.Rates[s] {
@@ -96,7 +154,12 @@ func (m *Matrix) ScaledToMaxRate(rate float64) *Matrix {
 }
 
 // Validate checks matrix invariants: square, non-negative, no self traffic.
+// Streamed matrices validate their O(n) derived state only — the entries
+// are valid by construction.
 func (m *Matrix) Validate() error {
+	if m.gen != nil {
+		return m.validateStreamed()
+	}
 	if len(m.Rates) != m.N {
 		return fmt.Errorf("traffic: %d rows for N=%d", len(m.Rates), m.N)
 	}
@@ -161,6 +224,9 @@ func (c SoteriouConfig) Validate() error {
 // Distance — Manhattan on a mesh) collectively receive weight
 // p·(1-p)^(h-1), shared equally among them. Per-node injection rates are
 // |N(0, σ)| clamped to 1, scaled so the maximum equals MaxInjectionRate.
+//
+// The result is streamed — O(n) memory, entries computed on demand — and
+// bit-identical to the dense matrix this function historically built.
 func Soteriou(net *topology.Network, cfg SoteriouConfig) (*Matrix, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -185,43 +251,17 @@ func Soteriou(net *topology.Network, cfg SoteriouConfig) (*Matrix, error) {
 		return nil, fmt.Errorf("traffic: degenerate injection draw (all zero)")
 	}
 
-	m := NewMatrix(n)
-	maxDist := net.Width + net.Height // exclusive upper bound on every kind's Distance
-	counts := make([]int, maxDist)
-	hopW := make([]float64, maxDist)
-	for s := 0; s < n; s++ {
-		src := topology.NodeID(s)
-		for h := range counts {
-			counts[h] = 0
-		}
-		for d := 0; d < n; d++ {
-			if d == s {
-				continue
-			}
-			counts[net.Distance(src, topology.NodeID(d))]++
-		}
-		// Truncated geometric weight per populated distance, in fixed
-		// (ascending) order for bit-exact determinism.
-		var totalW float64
-		for h := 1; h < maxDist; h++ {
-			if counts[h] == 0 {
-				hopW[h] = 0
-				continue
-			}
-			w := cfg.P * math.Pow(1-cfg.P, float64(h-1))
-			hopW[h] = w
-			totalW += w
-		}
-		rate := cfg.MaxInjectionRate * levels[s] / maxLevel
-		for d := 0; d < n; d++ {
-			if d == s {
-				continue
-			}
-			h := net.Distance(src, topology.NodeID(d))
-			m.Rates[s][d] = rate * hopW[h] / totalW / float64(counts[h])
-		}
+	g := &soteriouGen{
+		net:     net,
+		n:       n,
+		maxDist: net.Width + net.Height, // exclusive upper bound on every kind's Distance
+		p:       cfg.P,
+		rates:   make([]float64, n),
 	}
-	return m, nil
+	for s := range g.rates {
+		g.rates[s] = cfg.MaxInjectionRate * levels[s] / maxLevel
+	}
+	return newStreamed(n, g, 1), nil
 }
 
 // MustSoteriou is Soteriou that panics on error.
@@ -264,9 +304,10 @@ func BitComplement(net *topology.Network, rate float64) *Matrix {
 // distance of a matrix — the knob p controls in the Soteriou model.
 func MeanHopDistance(net *topology.Network, m *Matrix) float64 {
 	var wsum, sum float64
+	row := make([]float64, m.N)
 	for s := 0; s < m.N; s++ {
-		for d := 0; d < m.N; d++ {
-			r := m.Rates[s][d]
+		row = m.Row(s, row)
+		for d, r := range row {
 			if r == 0 {
 				continue
 			}

@@ -86,7 +86,7 @@ func TestSoteriouDeterminism(t *testing.T) {
 	b := MustSoteriou(net, DefaultSoteriou())
 	for s := 0; s < a.N; s++ {
 		for d := 0; d < a.N; d++ {
-			if a.Rates[s][d] != b.Rates[s][d] {
+			if a.Rate(s, d) != b.Rate(s, d) {
 				t.Fatalf("same seed diverged at [%d][%d]", s, d)
 			}
 		}
@@ -97,7 +97,7 @@ func TestSoteriouDeterminism(t *testing.T) {
 	same := true
 	for s := 0; s < a.N && same; s++ {
 		for d := 0; d < a.N; d++ {
-			if a.Rates[s][d] != other.Rates[s][d] {
+			if a.Rate(s, d) != other.Rate(s, d) {
 				same = false
 				break
 			}
@@ -155,7 +155,7 @@ func TestScalingLinearityProperty(t *testing.T) {
 		y := m.Scaled(a * b)
 		for s := 0; s < m.N; s += 17 {
 			for d := 0; d < m.N; d += 13 {
-				if !units.ApproxEqual(x.Rates[s][d], y.Rates[s][d], 1e-9) {
+				if !units.ApproxEqual(x.Rate(s, d), y.Rate(s, d), 1e-9) {
 					return false
 				}
 			}
@@ -191,7 +191,7 @@ func TestTranspose(t *testing.T) {
 		t.Fatal(err)
 	}
 	// (x,y) -> (y,x): node (3,5) sends to (5,3).
-	if got := m.Rates[net.Node(3, 5)][net.Node(5, 3)]; got != 0.1 {
+	if got := m.Rate(int(net.Node(3, 5)), int(net.Node(5, 3))); got != 0.1 {
 		t.Errorf("transpose rate = %v", got)
 	}
 	// Diagonal nodes are silent.
@@ -206,7 +206,7 @@ func TestBitComplement(t *testing.T) {
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Rates[0][255]; got != 0.1 {
+	if got := m.Rate(0, 255); got != 0.1 {
 		t.Errorf("node 0 -> 255 rate = %v", got)
 	}
 	// Bit complement of a 16×16 mesh crosses the whole chip: mean
