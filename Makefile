@@ -16,6 +16,9 @@
 #   make golden-serve  — rewrite the internal/serve golden protocol files from HEAD
 #   make examples-smoke — build and run every examples/ binary (output discarded)
 #   make serve-smoke   — hyppi-serve selftest: sustained q/s + cache hit-rate gate
+#   make fault-smoke   — the reliability gate: fault-layer invariants plus
+#                        the FaultSweep suite (zero-fault differential,
+#                        worker-count determinism, variant BER coupling)
 
 GO ?= go
 
@@ -23,7 +26,7 @@ GO ?= go
 # pinned baseline.
 BENCH_OUT ?= /tmp/hyppi-bench-current.txt
 
-.PHONY: ci vet test short race fmt-check bench bench-baseline bench-compare scale-smoke golden golden-serve examples-smoke serve-smoke
+.PHONY: ci vet test short race fmt-check bench bench-baseline bench-compare scale-smoke golden golden-serve examples-smoke serve-smoke fault-smoke
 
 # Ordered so the cheapest gates fail first: vet (seconds), short
 # (seconds), race-short (tens of seconds), then the full suite.
@@ -95,3 +98,11 @@ examples-smoke:
 # (the 1-CPU CI container clears both with an order of magnitude to spare).
 serve-smoke:
 	$(GO) run ./cmd/hyppi-serve -selftest -queries 120 -clients 8 -min-qps 50 -min-hit 0.5
+
+# The reliability gate: the fault layer's structural invariants
+# (schedules, reroute, thermal) and the core.FaultSweep suite — shape,
+# the zero-fault bit-identity differential, serial-vs-parallel
+# determinism on the fault axis, and the device-variant BER coupling.
+fault-smoke:
+	$(GO) test ./internal/fault -timeout 300s -v
+	$(GO) test ./internal/core -run TestFaultSweep -timeout 600s -v

@@ -591,3 +591,39 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.ReportMetric(qps, "queries/s")
 	b.ReportMetric(hitPct, "hit_%")
 }
+
+// BenchmarkFaultedSweep measures the fault and variation layer end to
+// end: one mesh + HyPPI-express cell climbs a fault-rate ladder under the
+// MODetector device variant — seed-derived failure schedules, adaptive
+// reroute on the masked fabric, BER-driven retransmission under thermal
+// drift, energy priced with trimming overhead. The ladder's rate-0 point
+// runs the identical kernel with the fault profile disarmed, so the
+// benchmark also tracks the zero-fault path's overhead (it must stay
+// bit-identical to a run without the fault layer; see
+// TestFaultSweepZeroFaultDifferential).
+func BenchmarkFaultedSweep(b *testing.B) {
+	o := core.DefaultOptions()
+	o.Topology.Width, o.Topology.Height = 4, 4
+	points := []core.DesignPoint{{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}}
+	pats, err := traffic.ParsePatterns("uniform")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := core.DefaultFaultSweep()
+	sc.Rates = []float64{0, 0.15, 0.3}
+	sc.Epochs = 3
+	sc.Workload.Cycles = 500
+	sc.NoC.MaxCycles = 50000
+	var avail, clearDeg float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.FaultSweep(context.Background(), []topology.Kind{topology.Mesh},
+			points, []string{dsent.VariantMODetector}, pats, sc, o, runner.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := res[0].Points[len(res[0].Points)-1]
+		avail, clearDeg = worst.Availability, worst.CLEARDegradation
+	}
+	b.ReportMetric(avail, "avail_r0.3")
+	b.ReportMetric(clearDeg, "clear_deg_r0.3")
+}

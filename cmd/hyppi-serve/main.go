@@ -17,7 +17,13 @@
 // Without -http, hyppi-serve speaks the JSON-lines protocol on
 // stdin/stdout (the BookSim2-style cosimulation interface): one request
 // per line, one response line per request, in request order. With -http
-// it serves POST /query, GET /stats and GET /healthz instead.
+// it serves POST /query, GET /stats and GET /healthz instead, with
+// read/write timeouts and a 1 MiB request-body bound.
+//
+// SIGINT or SIGTERM drains gracefully: new queries are refused with 503
+// draining (and /healthz stops reporting ok, so load balancers shed
+// traffic) while queries already accepted run to completion, bounded by
+// -drain-timeout. A second signal aborts immediately.
 //
 // -selftest replays the built-in mixed workload through an in-process
 // engine and reports sustained queries/sec and cache hit rate, failing
@@ -26,12 +32,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/serve/loadtest"
@@ -59,6 +69,8 @@ func run() int {
 	maxBatch := flag.Int("batch", serve.DefaultMaxBatch, "max queries coalesced into one evaluation batch")
 	maxNodes := flag.Int("max-nodes", serve.DefaultMaxNodes, "largest width*height a query may ask for")
 	inFlight := flag.Int("in-flight", serve.DefaultMaxInFlight, "stdio mode: max request lines answered concurrently")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"graceful-shutdown bound: how long in-flight queries may finish after SIGINT/SIGTERM")
 	selftest := flag.Bool("selftest", false, "replay the built-in workload and report q/s + hit rate")
 	queries := flag.Int("queries", 120, "selftest: total queries")
 	clients := flag.Int("clients", 8, "selftest: concurrent clients")
@@ -81,9 +93,14 @@ func run() int {
 	engine := serve.NewEngine(cfg)
 	defer engine.Close()
 
+	// One signal starts the graceful drain; stop() restores default
+	// delivery, so a second SIGINT/SIGTERM kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch {
 	case *selftest:
-		rep, err := loadtest.Run(context.Background(), engine, loadtest.Config{
+		rep, err := loadtest.Run(ctx, engine, loadtest.Config{
 			Queries: *queries, Clients: *clients, TargetQPS: *targetQPS,
 		})
 		if err != nil {
@@ -111,16 +128,53 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
 			return 1
 		}
+		// Slow-client hardening: a body must arrive promptly, but the
+		// write timeout also covers the evaluation itself, so it stays an
+		// order of magnitude above the worst cold query the size cap
+		// admits. Idle keep-alive connections are reaped independently.
+		srv := &http.Server{
+			Handler:           engine.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      5 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		fmt.Fprintf(os.Stderr, "hyppi-serve: listening on http://%s (POST /query, GET /stats, GET /healthz)\n",
 			ln.Addr())
-		if err := http.Serve(ln, engine.Handler()); err != nil {
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(ln) }()
+		select {
+		case err := <-errc:
+			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
+			return 1
+		case <-ctx.Done():
+		}
+		// Drain: refuse new queries (503), let accepted ones finish,
+		// bounded by -drain-timeout.
+		engine.StartDraining()
+		fmt.Fprintf(os.Stderr, "hyppi-serve: signal received, draining (bound %v)\n", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-serve: drain incomplete:", err)
+			return 1
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
 			return 1
 		}
+		fmt.Fprintln(os.Stderr, "hyppi-serve: drained")
 		return 0
 
 	default:
-		if err := engine.ServeLines(context.Background(), os.Stdin, os.Stdout, *inFlight); err != nil {
+		err := engine.ServeLines(ctx, os.Stdin, os.Stdout, *inFlight)
+		if errors.Is(err, context.Canceled) {
+			// Signal-driven exit: responses already accepted were written
+			// in order before ServeLines returned.
+			fmt.Fprintln(os.Stderr, "hyppi-serve: signal received, drained")
+			return 0
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
 			return 1
 		}

@@ -12,6 +12,8 @@
 //	hyppi-sim -pattern all -topology all
 //	hyppi-sim -pattern uniform -grid 64x64
 //	hyppi-sim -pattern tornado -energy
+//	hyppi-sim -pattern uniform -faults
+//	hyppi-sim -pattern uniform -faults -variant modetector,hybrid5x5 -csv
 //	hyppi-sim -kernel FT -topology torus
 //	hyppi-sim -cpuprofile cpu.out -memprofile mem.out
 //
@@ -26,6 +28,14 @@
 // activity-based energy subsystem (internal/energy): measured fJ/bit, the
 // simulated CLEAR, and the latency–energy Pareto frontier across the
 // competing design points of each (topology, pattern) scenario.
+//
+// Adding -faults instead runs the reliability sweep (internal/fault):
+// seed-derived link-failure schedules at each rate of a ladder, adaptive
+// reroute on the surviving fabric, BER-driven retransmission under the
+// device variant's error floor and thermal drift, reporting availability
+// and CLEAR degradation per (topology, design point, variant, pattern)
+// cell. -variant picks the dsent device-variant registry entries to
+// sweep; -csv emits the dataset instead of the aligned table.
 //
 // -topology selects the topology kind (see internal/topology). In
 // pattern mode it takes a comma list or "all" and sweeps the full
@@ -46,6 +56,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dsent"
 	"repro/internal/noc"
 	"repro/internal/npb"
 	"repro/internal/prof"
@@ -84,7 +95,47 @@ var (
 		strings.Join(traffic.Names(), ", ") + ") or \"all\""
 	topologyUsage = "topology kind: " + strings.Join(topology.Names(), ", ") +
 		" (comma list or \"all\" in pattern mode; single kind for traces)"
+	variantUsage = "with -faults: device-variant registry entries to sweep (" +
+		strings.Join(variantNames(), ", ") + "; comma list or \"all\")"
 )
+
+// variantNames lists the dsent device-variant registry with the baseline's
+// empty name spelled out for the command line.
+func variantNames() []string {
+	var out []string
+	for _, v := range dsent.Variants() {
+		name := v.Name
+		if name == dsent.VariantBaseline {
+			name = "baseline"
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// parseVariants resolves a -variant spec against the registry, accepting
+// "baseline" as an alias for the registry's empty baseline name.
+func parseVariants(spec string) ([]string, error) {
+	if spec == "all" {
+		var out []string
+		for _, v := range dsent.Variants() {
+			out = append(out, v.Name)
+		}
+		return out, nil
+	}
+	var out []string
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "baseline" {
+			name = dsent.VariantBaseline
+		}
+		if _, err := dsent.LookupVariant(name); err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -100,6 +151,11 @@ func run() int {
 	energySweep := flag.Bool("energy", false,
 		"with -pattern: measured energy accounting per sweep point "+
 			"(fJ/bit, simulated CLEAR, latency–energy Pareto frontier)")
+	faultSweep := flag.Bool("faults", false,
+		"with -pattern: reliability sweep over a link-failure rate ladder "+
+			"(availability, drops, retransmissions, CLEAR degradation)")
+	variantFlag := flag.String("variant", "all", variantUsage)
+	csvOut := flag.Bool("csv", false, "with -faults: emit CSV instead of the aligned table")
 	express := flag.String("express", "HyPPI", "express link technology: Electronic, Photonic or HyPPI")
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
 	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
@@ -137,6 +193,8 @@ func run() int {
 		}
 		o.Topology.Width, o.Topology.Height = w, h
 		switch {
+		case *faultSweep:
+			err = runFaultSweep(kinds, *pattern, *variantFlag, exTech, *csvOut, o, pool)
 		case *energySweep:
 			err = runEnergySweep(kinds, *pattern, exTech, o, pool)
 		case len(kinds) == 1 && kinds[0] == topology.Mesh:
@@ -152,6 +210,10 @@ func run() int {
 	}
 	if *energySweep {
 		fmt.Fprintln(os.Stderr, "hyppi-sim: -energy needs -pattern (it prices the pattern sweep)")
+		return 1
+	}
+	if *faultSweep {
+		fmt.Fprintln(os.Stderr, "hyppi-sim: -faults needs -pattern (it degrades the pattern sweep)")
 		return 1
 	}
 
@@ -269,6 +331,49 @@ func runEnergySweep(kinds []topology.Kind, spec string, exTech tech.Technology,
 	fmt.Print(report.EnergyTable(results))
 	fmt.Println("\nPareto frontier per (topology, pattern) scenario")
 	fmt.Print(report.ParetoTable(results))
+	return nil
+}
+
+// runFaultSweep degrades the pattern sweep with the fault and variation
+// layer: each (topology, design point, device variant, pattern) cell runs
+// the fault-rate ladder — seed-derived link-failure schedules, adaptive
+// reroute, BER-driven retransmission under thermal drift — and reports
+// availability, explicit loss accounting, and CLEAR degradation relative
+// to the cell's healthy point.
+func runFaultSweep(kinds []topology.Kind, spec, variantSpec string, exTech tech.Technology,
+	csvOut bool, o core.Options, pool runner.Config) error {
+	patterns, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	variants, err := parseVariants(variantSpec)
+	if err != nil {
+		return err
+	}
+	var points []core.DesignPoint
+	if len(kinds) == 1 && kinds[0] == topology.Mesh {
+		for _, hops := range patternHopLadder(o.Topology.Width) {
+			ex := exTech
+			if hops == 0 {
+				ex = tech.Electronic
+			}
+			points = append(points, core.DesignPoint{Base: tech.Electronic, Express: ex, Hops: hops})
+		}
+	} else {
+		points = []core.DesignPoint{{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}}
+	}
+	sc := core.DefaultFaultSweep()
+	results, err := core.FaultSweep(context.Background(), kinds, points, variants, patterns, sc, o, pool)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		return report.WriteFaultSweep(os.Stdout, results)
+	}
+	fmt.Printf("%d×%d reliability sweep, express = %v, fault rates = %v, %d epochs\n",
+		o.Topology.Width, o.Topology.Height, exTech, sc.Rates, sc.Epochs)
+	fmt.Println("(avail = fraction of (src,dst) pairs still connected; CLEAR× = CLEAR vs the healthy point)")
+	fmt.Print(report.FaultTable(results))
 	return nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/energy"
@@ -197,6 +198,9 @@ func evalOneCell(c EvalCell, env *evalEnv, sc EnergySweepConfig, sims *noc.SimPo
 		Packets:        st.PacketsEjected,
 	}
 	if runErr != nil {
+		if !errors.Is(runErr, noc.ErrSaturated) {
+			return fail(runErr)
+		}
 		// Failure to drain is the saturation signal, exactly as in
 		// EnergySweep: the cell answers "saturated", it does not fail.
 		res.Saturated = true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/energy"
@@ -178,6 +179,9 @@ func energyPoint(net *topology.Network, tab *routing.Table, model *energy.Model,
 	sims.Put(sim)
 	ep := EnergyPoint{Rate: rate}
 	if err != nil {
+		if !errors.Is(err, noc.ErrSaturated) {
+			return EnergyPoint{}, err
+		}
 		ep.Saturated = true
 		return ep, nil
 	}

@@ -42,6 +42,12 @@ type Config struct {
 	ClockHz float64
 	// LinkCapacityBps is the per-link capacity (Table II: 50 Gb/s).
 	LinkCapacityBps float64
+	// Variant selects an alternative device model from the registry in
+	// variant.go; the zero value is the baseline Table I/II device set and
+	// evaluates bit-identically to a pre-variant Config. The field is a
+	// plain string so Config stays comparable (the simulator pools key on
+	// it).
+	Variant string
 }
 
 // DefaultConfig returns the Table II parameters.
@@ -69,6 +75,9 @@ func (c Config) Validate() error {
 	if got := float64(c.FlitBits) * c.ClockHz; !units.ApproxEqual(got, c.LinkCapacityBps, 1e-9) {
 		return fmt.Errorf("dsent: flit width %d × clock %v Hz = %v b/s does not match link capacity %v b/s",
 			c.FlitBits, c.ClockHz, got, c.LinkCapacityBps)
+	}
+	if _, err := LookupVariant(c.Variant); err != nil {
+		return err
 	}
 	return nil
 }
@@ -182,22 +191,27 @@ func ElectronicRouter(cfg Config, ports int) RouterCost {
 	if ports <= 0 {
 		panic(fmt.Sprintf("dsent: non-positive port count %d", ports))
 	}
+	v := variantOf(cfg.Variant)
 	bufBits := float64(ports * cfg.VCs * cfg.BufDepthFlits * cfg.FlitBits)
-	area := bufBits*bufBitAreaM2 +
+	area := (bufBits*bufBitAreaM2 +
 		float64(cfg.FlitBits)*float64(ports*ports)*xbarBitPortSqAreaM2 +
-		ctrlAreaM2
-	static := routerClockStaticW + bufBits*bufBitLeakW + float64(ports)*portStaticW
+		ctrlAreaM2) * v.RouterAreaScale
+	static := (routerClockStaticW + bufBits*bufBitLeakW + float64(ports)*portStaticW) *
+		v.RouterStaticScale
 	// A flit is written to and read from an input buffer, then crosses
-	// the crossbar.
+	// the crossbar (the variant's switching fabric may discount the
+	// latter; the scale is port-independent, which the energy package's
+	// activity accounting relies on).
 	bufJ := float64(cfg.FlitBits) * bufAccessJPerBit
+	xbarJ := xbarArbJPerFlit * v.RouterXbarScale
 	return RouterCost{
 		Ports:            ports,
 		AreaM2:           area,
 		StaticW:          static,
-		DynamicJPerFlit:  2*bufJ + xbarArbJPerFlit,
+		DynamicJPerFlit:  2*bufJ + xbarJ,
 		BufWriteJPerFlit: bufJ,
 		BufReadJPerFlit:  bufJ,
-		XbarJPerFlit:     xbarArbJPerFlit,
+		XbarJPerFlit:     xbarJ,
 	}
 }
 
@@ -330,7 +344,8 @@ func opticalLink(cfg Config, t tech.Technology, lengthM float64, wavelengths int
 	om := lm.(interface {
 		LaserPowerW(lengthM, rateBps float64) float64
 	})
-	laserW := float64(lambdas) * om.LaserPowerW(lengthM, perLambdaBps)
+	v := variantOf(cfg.Variant)
+	laserW := float64(lambdas) * om.LaserPowerW(lengthM, perLambdaBps) * v.LaserWScale
 
 	// Thermal trimming: photonic links keep one modulator ring and one
 	// drop-filter ring on resonance per wavelength. Plasmonic/HyPPI MOS
@@ -339,7 +354,7 @@ func opticalLink(cfg Config, t tech.Technology, lengthM float64, wavelengths int
 	ringsPerLink := 0
 	if t == tech.Photonic {
 		ringsPerLink = 2 * lambdas
-		tuningW = float64(ringsPerLink) * ringTrimW
+		tuningW = float64(ringsPerLink) * ringTrimW * v.TuningWScale
 	}
 
 	static := laserW + tuningW + serdesStaticW
@@ -353,9 +368,9 @@ func opticalLink(cfg Config, t tech.Technology, lengthM float64, wavelengths int
 	}
 	modJPerBit := driverFactor * p.Modulator.CapacitanceFF * units.Femto * swing * swing
 	bitsPerFlit := float64(cfg.FlitBits)
-	modJ := modJPerBit * bitsPerFlit
+	modJ := modJPerBit * bitsPerFlit * v.ModulatorJScale
 	serdesJ := serdesJPerBit * bitsPerFlit
-	rxJ := rxJPerBit * bitsPerFlit
+	rxJ := rxJPerBit * bitsPerFlit * v.ReceiverJScale
 	amortJ := static / (capacity * amortUtilization) * bitsPerFlit
 	dynamic := modJ + serdesJ + rxJ + amortJ
 
@@ -372,7 +387,7 @@ func opticalLink(cfg Config, t tech.Technology, lengthM float64, wavelengths int
 	default:
 		deviceArea += (p.Modulator.AreaUM2 + p.Detector.AreaUM2) * units.MicrometreSq
 	}
-	area := deviceArea + trackWidth*lengthM
+	area := deviceArea*v.LinkDeviceAreaScale + trackWidth*lengthM
 
 	return LinkCost{
 		Tech:              t,

@@ -1,0 +1,151 @@
+package dsent
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+)
+
+// Variant names for Config.Variant.
+const (
+	// VariantBaseline is the paper's Table I/II device set (the zero
+	// value, so existing configurations are untouched).
+	VariantBaseline = ""
+	// VariantMODetector swaps the link end-point devices for the
+	// MODetector dual-function modulator-detector (arXiv:1712.01364).
+	VariantMODetector = "modetector"
+	// VariantHybrid5x5 swaps the electronic crossbar traversal for the
+	// non-blocking 5×5 hybrid photonic-plasmonic router (arXiv:1708.07159).
+	VariantHybrid5x5 = "hybrid5x5"
+)
+
+// DeviceVariant is one entry of the device-variant registry: a set of
+// multiplicative corrections to the baseline cost model, derived from the
+// tech package's device snapshots, plus the nominal optical flit error
+// probability the fault layer starts its BER model from. The baseline
+// entry is the exact identity (every scale 1.0, error probability 0), so a
+// Config with Variant == "" evaluates bit-identically to the pre-variant
+// model.
+type DeviceVariant struct {
+	// Name is the Config.Variant spelling; Description is for reports.
+	Name, Description string
+
+	// Link-side scales, applied inside the optical link model.
+	ModulatorJScale     float64 // E-O drive energy per flit
+	ReceiverJScale      float64 // O-E receiver energy per flit
+	LaserWScale         float64 // laser power from the loss/sensitivity budget
+	TuningWScale        float64 // microring thermal-trimming power
+	LinkDeviceAreaScale float64 // TX/RX device area (waveguide track excluded)
+
+	// Router-side scales, applied inside the electronic router model.
+	RouterStaticScale float64 // static (leakage + bias) power
+	RouterXbarScale   float64 // crossbar traversal + allocation energy
+	RouterAreaScale   float64 // router footprint
+
+	// FlitErrorProb is the nominal probability one flit traversal of an
+	// optical link is corrupted at zero thermal drift. The baseline model
+	// treats links as error-free; variants trade energy or area for a
+	// finite error floor, which the fault layer turns into retransmission
+	// traffic (noc.FaultProfile).
+	FlitErrorProb float64
+}
+
+func baselineVariant() DeviceVariant {
+	return DeviceVariant{
+		Name:                VariantBaseline,
+		Description:         "Table I/II baseline devices",
+		ModulatorJScale:     1,
+		ReceiverJScale:      1,
+		LaserWScale:         1,
+		TuningWScale:        1,
+		LinkDeviceAreaScale: 1,
+		RouterStaticScale:   1,
+		RouterXbarScale:     1,
+		RouterAreaScale:     1,
+		FlitErrorProb:       0,
+	}
+}
+
+// dbToLinear converts a decibel power ratio to linear.
+func dbToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// modetectorVariant derives the MODetector entry from the tech snapshot:
+// one dual-function device per link end replaces the separate modulator
+// and photodetector. Modulation gets cheaper (lower gating capacitance)
+// and the end-point footprint shrinks, but the weak absorption read-out
+// and extra insertion loss force the laser up, and the reduced detection
+// margin leaves a finite error floor.
+func modetectorVariant() DeviceVariant {
+	mod := tech.MODetectorTable()
+	hy := tech.HyPPITableI()
+	v := baselineVariant()
+	v.Name = VariantMODetector
+	v.Description = "MODetector dual-function modulator-detector end-points (arXiv:1712.01364)"
+	// Drive-energy ratio of the device snapshots.
+	v.ModulatorJScale = mod.ModulationEnergyFJPerBit / hy.Modulator.EnergyFJPerBit
+	// The dedicated photodetector front-end disappears; the TIA +
+	// limiting amp behind the read-out remains (modeled estimate).
+	v.ReceiverJScale = 0.5
+	// The laser must cover the responsivity deficit and the extra device
+	// insertion loss relative to the baseline modulator.
+	v.LaserWScale = (hy.Detector.ResponsivityAPerW / mod.DetectionResponsivityAPerW) *
+		dbToLinear(mod.InsertionLossDB-hy.Modulator.InsertionLossDB)
+	// Non-resonant: no ring to trim even on photonic links.
+	v.TuningWScale = 0
+	// One device per end instead of a modulator + detector pair.
+	v.LinkDeviceAreaScale = 0.6
+	v.FlitErrorProb = mod.FlitErrorProb
+	return v
+}
+
+// hybrid5x5Variant derives the 5×5 hybrid-router entry from the tech
+// snapshot: through-traffic crosses an optical fabric instead of the full
+// electronic crossbar, shrinking traversal energy and footprint, while the
+// switching elements add bias power, the router's insertion loss joins
+// every link's laser budget, and residual crosstalk sets an error floor.
+func hybrid5x5Variant() DeviceVariant {
+	r := tech.HybridRouter5x5Table()
+	v := baselineVariant()
+	v.Name = VariantHybrid5x5
+	v.Description = "5x5 hybrid photonic-plasmonic router fabric (arXiv:1708.07159)"
+	v.RouterXbarScale = r.SwitchFractionOfXbar
+	// Plasmonic switch bias + thermal control on top of the electronic
+	// control plane (modeled estimate).
+	v.RouterStaticScale = 1.05
+	// The optical fabric is denser than the 64-bit electronic crossbar it
+	// displaces (modeled estimate).
+	v.RouterAreaScale = 0.9
+	// The router sits in the optical path of every link it terminates.
+	v.LaserWScale = dbToLinear(r.InsertionLossDB)
+	v.FlitErrorProb = r.FlitErrorProb
+	return v
+}
+
+// Variants lists the registry in a fixed order (baseline first).
+func Variants() []DeviceVariant {
+	return []DeviceVariant{baselineVariant(), modetectorVariant(), hybrid5x5Variant()}
+}
+
+// LookupVariant resolves a Config.Variant name. The empty string is the
+// baseline; unknown names are an error (Config.Validate relies on this).
+func LookupVariant(name string) (DeviceVariant, error) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return DeviceVariant{}, fmt.Errorf("dsent: unknown device variant %q (have baseline, %s, %s)",
+		name, VariantMODetector, VariantHybrid5x5)
+}
+
+// variantOf is LookupVariant for internal cost evaluation: unknown names
+// fall back to the baseline so evaluation stays total — Config.Validate is
+// the gate that rejects them.
+func variantOf(name string) DeviceVariant {
+	v, err := LookupVariant(name)
+	if err != nil {
+		return baselineVariant()
+	}
+	return v
+}

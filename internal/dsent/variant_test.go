@@ -1,0 +1,164 @@
+package dsent
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func variantConfig(name string) Config {
+	cfg := DefaultConfig()
+	cfg.Variant = name
+	return cfg
+}
+
+// TestVariantBaselineIdentity pins the registry's identity contract: the
+// zero-value variant is exactly neutral, so every existing Config keeps
+// evaluating to the same bytes.
+func TestVariantBaselineIdentity(t *testing.T) {
+	v, err := LookupVariant(VariantBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]float64{
+		"ModulatorJScale":     v.ModulatorJScale,
+		"ReceiverJScale":      v.ReceiverJScale,
+		"LaserWScale":         v.LaserWScale,
+		"TuningWScale":        v.TuningWScale,
+		"LinkDeviceAreaScale": v.LinkDeviceAreaScale,
+		"RouterStaticScale":   v.RouterStaticScale,
+		"RouterXbarScale":     v.RouterXbarScale,
+		"RouterAreaScale":     v.RouterAreaScale,
+	} {
+		if s != 1 {
+			t.Fatalf("baseline %s = %v, want exactly 1", name, s)
+		}
+	}
+	if v.FlitErrorProb != 0 {
+		t.Fatalf("baseline FlitErrorProb = %v, want 0", v.FlitErrorProb)
+	}
+	// And the evaluators agree: an explicit baseline Config reproduces the
+	// default one bit for bit.
+	base, err := Link(DefaultConfig(), tech.HyPPI, 4*units.Millimetre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Link(variantConfig(VariantBaseline), tech.HyPPI, 4*units.Millimetre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Fatalf("explicit baseline diverged:\n%+v\nvs\n%+v", base, again)
+	}
+	if r0, r1 := ElectronicRouter(DefaultConfig(), 5), ElectronicRouter(variantConfig(VariantBaseline), 5); r0 != r1 {
+		t.Fatalf("explicit baseline router diverged:\n%+v\nvs\n%+v", r0, r1)
+	}
+}
+
+// TestVariantLookup covers the registry surface and the Validate gate.
+func TestVariantLookup(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 3 {
+		t.Fatalf("Variants() = %d entries, want 3", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Fatalf("duplicate variant name %q", v.Name)
+		}
+		seen[v.Name] = true
+		if _, err := LookupVariant(v.Name); err != nil {
+			t.Fatalf("registry entry %q not resolvable: %v", v.Name, err)
+		}
+	}
+	if !seen[VariantMODetector] || !seen[VariantHybrid5x5] {
+		t.Fatalf("registry missing required variants: %v", seen)
+	}
+	if _, err := LookupVariant("no-such-device"); err == nil {
+		t.Fatal("unknown variant resolved")
+	}
+	if err := variantConfig("no-such-device").Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown variant")
+	}
+	if err := variantConfig(VariantMODetector).Validate(); err != nil {
+		t.Fatalf("Validate rejected a registry variant: %v", err)
+	}
+}
+
+// TestVariantMODetectorShifts checks the MODetector trade-off direction:
+// cheaper modulation, cheaper receiver, smaller end-points, no trimming —
+// paid for with more laser power and a nonzero error floor.
+func TestVariantMODetectorShifts(t *testing.T) {
+	length := 4 * units.Millimetre
+	base, err := Link(DefaultConfig(), tech.HyPPI, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Link(variantConfig(VariantMODetector), tech.HyPPI, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.ModulatorJPerFlit >= base.ModulatorJPerFlit {
+		t.Fatalf("modulator energy %v not below baseline %v", mod.ModulatorJPerFlit, base.ModulatorJPerFlit)
+	}
+	if mod.ReceiverJPerFlit >= base.ReceiverJPerFlit {
+		t.Fatalf("receiver energy %v not below baseline %v", mod.ReceiverJPerFlit, base.ReceiverJPerFlit)
+	}
+	if mod.LaserW <= base.LaserW {
+		t.Fatalf("laser %v not above baseline %v (sensitivity penalty lost)", mod.LaserW, base.LaserW)
+	}
+	if mod.AreaM2 >= base.AreaM2 {
+		t.Fatalf("area %v not below baseline %v", mod.AreaM2, base.AreaM2)
+	}
+	// Non-resonant end-points: photonic links lose their ring trimming.
+	pho, err := Link(variantConfig(VariantMODetector), tech.Photonic, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pho.TuningW != 0 {
+		t.Fatalf("photonic TuningW = %v, want 0 under MODetector", pho.TuningW)
+	}
+	v, _ := LookupVariant(VariantMODetector)
+	if v.FlitErrorProb <= 0 {
+		t.Fatalf("MODetector FlitErrorProb = %v, want > 0", v.FlitErrorProb)
+	}
+}
+
+// TestVariantHybrid5x5Shifts checks the hybrid-router trade-off direction:
+// cheaper crossbar traversals and a smaller footprint against more static
+// power, a lossier optical path and a crosstalk error floor.
+func TestVariantHybrid5x5Shifts(t *testing.T) {
+	base := ElectronicRouter(DefaultConfig(), 5)
+	hyb := ElectronicRouter(variantConfig(VariantHybrid5x5), 5)
+	if hyb.XbarJPerFlit >= base.XbarJPerFlit {
+		t.Fatalf("crossbar energy %v not below baseline %v", hyb.XbarJPerFlit, base.XbarJPerFlit)
+	}
+	if hyb.BufWriteJPerFlit != base.BufWriteJPerFlit || hyb.BufReadJPerFlit != base.BufReadJPerFlit {
+		t.Fatal("buffer energy must be untouched by the switching fabric")
+	}
+	if got, want := hyb.DynamicJPerFlit, hyb.BufWriteJPerFlit+hyb.BufReadJPerFlit+hyb.XbarJPerFlit; got != want {
+		t.Fatalf("DynamicJPerFlit %v != component sum %v", got, want)
+	}
+	if hyb.StaticW <= base.StaticW {
+		t.Fatalf("static %v not above baseline %v", hyb.StaticW, base.StaticW)
+	}
+	if hyb.AreaM2 >= base.AreaM2 {
+		t.Fatalf("area %v not below baseline %v", hyb.AreaM2, base.AreaM2)
+	}
+	lb, err := Link(DefaultConfig(), tech.HyPPI, 4*units.Millimetre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := Link(variantConfig(VariantHybrid5x5), tech.HyPPI, 4*units.Millimetre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh.LaserW <= lb.LaserW {
+		t.Fatalf("laser %v not above baseline %v (router insertion loss unpriced)", lh.LaserW, lb.LaserW)
+	}
+	v, _ := LookupVariant(VariantHybrid5x5)
+	if v.FlitErrorProb <= 0 {
+		t.Fatalf("hybrid5x5 FlitErrorProb = %v, want > 0", v.FlitErrorProb)
+	}
+}

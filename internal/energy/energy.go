@@ -260,6 +260,28 @@ func (m *Model) Price(st noc.Stats) (RunEnergy, error) {
 	return r, nil
 }
 
+// PriceWithStaticOverhead is Price with an additional always-on power draw
+// in watts folded into the static accounting — the hook the fault layer
+// uses to charge load-dependent thermal trimming (internal/fault) without
+// rebuilding the model. A zero overhead returns exactly Price's bytes.
+func (m *Model) PriceWithStaticOverhead(st noc.Stats, overheadW float64) (RunEnergy, error) {
+	if overheadW < 0 {
+		return RunEnergy{}, fmt.Errorf("energy: negative static overhead %v W", overheadW)
+	}
+	r, err := m.Price(st)
+	if err != nil || overheadW == 0 {
+		return r, err
+	}
+	extra := overheadW * r.Seconds
+	r.StaticJ += extra
+	r.TotalJ += extra
+	if r.BitsEjected > 0 {
+		r.FJPerBit = r.TotalJ / r.BitsEjected / units.Femto
+	}
+	r.AvgPowerW = r.TotalJ / r.Seconds
+	return r, nil
+}
+
 // CLEAR is the simulated counterpart of the paper's eq. 2 evaluation: the
 // same figure of merit with latency, utilization and R measured by the
 // cycle-accurate simulator instead of estimated from the traffic matrix.
@@ -323,6 +345,24 @@ func (m *Model) SimulatedCLEAR(st noc.Stats, offeredRate float64) (CLEAR, error)
 		return CLEAR{}, fmt.Errorf("energy: degenerate CLEAR inputs (latency %v, R %v)",
 			c.AvgLatencyClks, c.R)
 	}
+	c.Value = c.CapabilityGbpsPerNode /
+		(c.AvgLatencyClks * c.PowerW * (c.AreaM2 / units.MillimetreSq) * c.R)
+	return c, nil
+}
+
+// SimulatedCLEARWithOverhead is SimulatedCLEAR with an additional always-on
+// power draw in watts charged to eq. 2's power term (see
+// PriceWithStaticOverhead). A zero overhead returns exactly
+// SimulatedCLEAR's bytes.
+func (m *Model) SimulatedCLEARWithOverhead(st noc.Stats, offeredRate, overheadW float64) (CLEAR, error) {
+	if overheadW < 0 {
+		return CLEAR{}, fmt.Errorf("energy: negative static overhead %v W", overheadW)
+	}
+	c, err := m.SimulatedCLEAR(st, offeredRate)
+	if err != nil || overheadW == 0 {
+		return c, err
+	}
+	c.PowerW += overheadW
 	c.Value = c.CapabilityGbpsPerNode /
 		(c.AvgLatencyClks * c.PowerW * (c.AreaM2 / units.MillimetreSq) * c.R)
 	return c, nil

@@ -1,0 +1,38 @@
+// Package fault is the fault and variation layer: deterministic link
+// failure schedules, adaptive rerouting over the surviving fabric, and a
+// thermal-drift model that couples measured link activity back into
+// bit-error rates and trimming power.
+//
+// The paper's evaluation assumes a fault-free fabric; this package asks
+// how gracefully each technology's advantage degrades when it is not.
+// Three mechanisms compose:
+//
+//   - Schedule derives per-link fault timelines — permanent failures and
+//     transient flaps, scalable per technology class — purely from a seed,
+//     a rate and a link index. The same inputs give the same timeline on
+//     any worker, extending the repository's determinism contract
+//     (CHANGES.md: CONCURRENCY) to the fault axis.
+//
+//   - Rerouter presents each epoch's surviving fabric as a masked
+//     topology.Network view (sharing the full network's LinkID space, so
+//     stats and energy models keep their shape) and rebuilds shortest-path
+//     routing over it with routing.BuildDegraded. Views are cached per
+//     distinct mask, so the rebuild cost is paid only when the fault set
+//     actually changes; the empty mask returns the caller's own network
+//     and table pointers, keeping the zero-fault path bit-identical and
+//     pool-compatible. Destinations cut off by faults are reported as
+//     routing.ErrUnreachable, and the table's Availability is the
+//     fraction of ordered pairs still connected.
+//
+//   - Thermal integrates per-link utilization (the PR 5 activity census)
+//     into a drift state with exponential decay: hot links drift off
+//     their operating point, raising the flit error probability the
+//     simulator's retransmission machinery (noc.FaultProfile) works
+//     against, and costing extra trimming power that
+//     energy.PriceWithStaticOverhead folds into the static budget. The
+//     error floor each variant starts from comes from the dsent device
+//     registry (dsent.LookupVariant).
+//
+// core.FaultSweep drives all three across a rate ladder and reports
+// availability and CLEAR degradation per fault rate.
+package fault

@@ -1,0 +1,294 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/routing"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func testNet(t *testing.T, w, h int) (*topology.Network, *routing.Table) {
+	t.Helper()
+	net, err := topology.Build(topology.Config{
+		Width: w, Height: h,
+		CoreSpacingM: 1 * units.Millimetre,
+		CapacityBps:  50e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := routing.Build(net, routing.MonotoneExpress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, tab
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	net, _ := testNet(t, 4, 4)
+	cfg := Config{Rate: 0.3, TransientFraction: 0.5, Epochs: 8, Seed: 11}
+	a, err := NewSchedule(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		if !reflect.DeepEqual(a.DownAt(e, nil), b.DownAt(e, nil)) {
+			t.Fatalf("epoch %d masks differ for identical schedules", e)
+		}
+	}
+	cfg.Seed = 12
+	c, err := NewSchedule(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for e := 0; e < cfg.Epochs; e++ {
+		if !reflect.DeepEqual(a.DownAt(e, nil), c.DownAt(e, nil)) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault timelines (suspicious)")
+	}
+}
+
+func TestSchedulePermanentMonotone(t *testing.T) {
+	net, _ := testNet(t, 8, 8)
+	s, err := NewSchedule(net, Config{Rate: 0.4, Epochs: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TransientFraction 0: every fault is permanent, so down links only
+	// accumulate.
+	prev := s.DownAt(0, nil)
+	anyDown := false
+	for e := 1; e < s.Epochs(); e++ {
+		cur := s.DownAt(e, nil)
+		for l := range cur {
+			if prev[l] && !cur[l] {
+				t.Fatalf("link %d recovered at epoch %d despite permanent-only faults", l, e)
+			}
+			anyDown = anyDown || cur[l]
+		}
+		if changed := !reflect.DeepEqual(prev, cur); changed != s.Changed(e) {
+			t.Fatalf("Changed(%d) = %v, masks say %v", e, s.Changed(e), changed)
+		}
+		prev = cur
+	}
+	if !anyDown {
+		t.Fatal("rate 0.4 over an 8×8 mesh faulted nothing (draw bug?)")
+	}
+}
+
+func TestScheduleZeroRate(t *testing.T) {
+	net, _ := testNet(t, 4, 4)
+	s, err := NewSchedule(net, Config{Rate: 0, TransientFraction: 0.5, Epochs: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < s.Epochs(); e++ {
+		for l, d := range s.DownAt(e, nil) {
+			if d {
+				t.Fatalf("zero-rate schedule downed link %d at epoch %d", l, e)
+			}
+		}
+	}
+}
+
+func TestScheduleTechScale(t *testing.T) {
+	net, _ := testNet(t, 8, 8)
+	var scale [tech.NumTechnologies]float64
+	for i := range scale {
+		scale[i] = 1e-12 // effectively immune...
+	}
+	scale[tech.Electronic] = 0 // ...except electronic: 0 means 1.0
+	s, err := NewSchedule(net, Config{Rate: 0.5, Epochs: 2, Seed: 21, TechScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := s.DownAt(1, nil)
+	downs := 0
+	for l, d := range down {
+		if !d {
+			continue
+		}
+		downs++
+		if net.Links[l].Tech != tech.Electronic {
+			t.Fatalf("link %d (%v) faulted despite ~zero tech scale", l, net.Links[l].Tech)
+		}
+	}
+	if downs == 0 {
+		t.Fatal("rate 0.5 faulted no electronic links")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	net, _ := testNet(t, 4, 4)
+	for _, cfg := range []Config{
+		{Rate: -0.1, Epochs: 2},
+		{Rate: 1.5, Epochs: 2},
+		{Rate: 0.1, TransientFraction: 2, Epochs: 2},
+		{Rate: 0.1, Epochs: 0},
+		{Rate: 0.1, Epochs: 2, TechScale: [tech.NumTechnologies]float64{-1}},
+	} {
+		if _, err := NewSchedule(net, cfg); err == nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestRerouterZeroFaultIdentity(t *testing.T) {
+	net, tab := testNet(t, 4, 4)
+	r := NewRerouter(net, tab, routing.MonotoneExpress)
+	v, err := r.View(make([]bool, len(net.Links)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Net != net || v.Tab != tab {
+		t.Fatal("empty mask must return the base network and table pointers")
+	}
+	if v.Availability != 1 || v.Unreachable != 0 {
+		t.Fatalf("base view availability %v / unreachable %d", v.Availability, v.Unreachable)
+	}
+}
+
+func TestRerouterCachesMasks(t *testing.T) {
+	net, tab := testNet(t, 4, 4)
+	r := NewRerouter(net, tab, routing.MonotoneExpress)
+	down := make([]bool, len(net.Links))
+	// Cut node 15 off entirely: availability drops, pairs become
+	// unreachable, and the identical mask reuses the cached view.
+	for _, l := range net.Links {
+		if l.Src == 15 || l.Dst == 15 {
+			down[l.ID] = true
+		}
+	}
+	v1, err := r.View(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Net == net || !v1.Net.IsMasked() {
+		t.Fatal("faulted view did not mask the network")
+	}
+	if v1.Unreachable != 30 {
+		t.Fatalf("isolating 1 of 16 nodes → %d unreachable pairs, want 30", v1.Unreachable)
+	}
+	if v1.Availability >= 1 {
+		t.Fatalf("availability %v not degraded", v1.Availability)
+	}
+	v2, err := r.View(append([]bool(nil), down...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1 {
+		t.Fatal("identical mask rebuilt instead of hitting the cache")
+	}
+	// A different mask is a different view.
+	down[0], down[1] = true, true
+	v3, err := r.View(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 == v1 {
+		t.Fatal("distinct masks shared a view")
+	}
+}
+
+func TestThermalDriftFeedback(t *testing.T) {
+	// A hybrid fabric: electronic base mesh plus HyPPI express links, so
+	// the drift model has optical links to heat and electronic ones to
+	// leave alone.
+	net, err := topology.Build(topology.Config{
+		Width: 4, Height: 4,
+		CoreSpacingM: 1 * units.Millimetre,
+		CapacityBps:  50e9,
+		ExpressHops:  3,
+		ExpressTech:  tech.HyPPI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := NewThermal(net, DefaultThermal(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.MaxDrift() != 0 || th.TrimmingOverheadW() != 0 {
+		t.Fatal("fresh thermal state not cold")
+	}
+	probs := th.LinkErrorProbs(nil)
+	for i, l := range net.Links {
+		want := 0.0
+		if l.Tech.IsOptical() {
+			want = 1e-4
+		}
+		if probs[i] != want {
+			t.Fatalf("cold link %d (%v) error prob %v, want %v", i, l.Tech, probs[i], want)
+		}
+	}
+	// One busy epoch: every link carries a flit per cycle.
+	st := noc.Stats{Cycles: 100, LinkFlits: make([]int64, len(net.Links))}
+	for i := range st.LinkFlits {
+		st.LinkFlits[i] = 100
+	}
+	if err := th.Advance(st); err != nil {
+		t.Fatal(err)
+	}
+	if th.MaxDrift() <= 0 {
+		t.Fatal("busy epoch produced no drift")
+	}
+	if th.TrimmingOverheadW() <= 0 {
+		t.Fatal("drift costs no trimming power")
+	}
+	hot := th.LinkErrorProbs(nil)
+	for i, l := range net.Links {
+		if l.Tech.IsOptical() && hot[i] <= probs[i] {
+			t.Fatalf("optical link %d error prob did not grow with drift (%v → %v)", i, probs[i], hot[i])
+		}
+		if !l.Tech.IsOptical() && hot[i] != 0 {
+			t.Fatalf("electronic link %d gained error prob %v", i, hot[i])
+		}
+	}
+	drifted := th.MaxDrift()
+	// An idle epoch cools the state.
+	idle := noc.Stats{Cycles: 100, LinkFlits: make([]int64, len(net.Links))}
+	if err := th.Advance(idle); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.MaxDrift(); got >= drifted {
+		t.Fatalf("idle epoch did not cool: %v → %v", drifted, got)
+	}
+}
+
+func TestThermalValidation(t *testing.T) {
+	net, _ := testNet(t, 4, 4)
+	for _, cfg := range []ThermalConfig{
+		{BaseFlitErrorProb: -1},
+		{BaseFlitErrorProb: 2},
+		{Decay: 1},
+		{Decay: -0.5},
+		{HeatPerUtil: -1},
+		{TrimWPerDrift: -1},
+	} {
+		if _, err := NewThermal(net, cfg); err == nil {
+			t.Fatalf("invalid thermal config %+v accepted", cfg)
+		}
+	}
+	th, err := NewThermal(net, ThermalConfig{BaseFlitErrorProb: 0.5, Decay: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Advance(noc.Stats{Cycles: 10, LinkFlits: []int64{1}}); err == nil {
+		t.Fatal("mismatched stats shape accepted")
+	}
+	if err := th.Advance(noc.Stats{Cycles: 0, LinkFlits: make([]int64, len(net.Links))}); err == nil {
+		t.Fatal("zero-cycle stats accepted")
+	}
+}

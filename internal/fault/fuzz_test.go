@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// FuzzFaultSchedule fuzzes the schedule parameters and asserts the layer's
+// structural invariants on a small mesh:
+//
+//   - schedules are pure: recomputing any epoch's mask gives the same
+//     bytes, in any order;
+//   - permanent faults are monotone (a recovered link must be transient);
+//   - Changed agrees exactly with mask inequality between epochs;
+//   - rate 0 downs nothing, rate 1 with no transients downs everything by
+//     the final epoch;
+//   - every reachable mask yields a routable degraded view whose
+//     availability matches its unreachable-pair count.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(int64(1), 0.0, 0.0, uint8(1))
+	f.Add(int64(7), 0.2, 0.5, uint8(4))
+	f.Add(int64(42), 1.0, 0.0, uint8(3))
+	f.Add(int64(-3), 0.9, 1.0, uint8(8))
+	f.Add(int64(99), 0.05, 0.25, uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, rate, transient float64, epochsRaw uint8) {
+		net, err := topology.Build(topology.Config{
+			Width: 4, Height: 4,
+			CoreSpacingM: 1 * units.Millimetre,
+			CapacityBps:  50e9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := routing.Build(net, routing.MonotoneExpress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Rate: rate, TransientFraction: transient, Epochs: 1 + int(epochsRaw%16), Seed: seed}
+		s, err := NewSchedule(net, cfg)
+		if err != nil {
+			if cfg.Validate() == nil {
+				t.Fatalf("valid config %+v rejected: %v", cfg, err)
+			}
+			return // invalid draw legitimately rejected
+		}
+		masks := make([][]bool, s.Epochs())
+		for e := range masks {
+			masks[e] = s.DownAt(e, nil)
+			if len(masks[e]) != len(net.Links) {
+				t.Fatalf("epoch %d mask has %d entries, want %d", e, len(masks[e]), len(net.Links))
+			}
+		}
+		// Purity: recompute out of order into a reused buffer.
+		var buf []bool
+		for e := s.Epochs() - 1; e >= 0; e-- {
+			buf = s.DownAt(e, buf)
+			for l := range buf {
+				if buf[l] != masks[e][l] {
+					t.Fatalf("epoch %d link %d mask not reproducible", e, l)
+				}
+			}
+		}
+		r := NewRerouter(net, tab, routing.MonotoneExpress)
+		for e := 0; e < s.Epochs(); e++ {
+			changed := e == 0
+			downs := 0
+			for l := range masks[e] {
+				if e > 0 {
+					if masks[e-1][l] && !masks[e][l] && !s.flap[l] {
+						t.Fatalf("permanent link %d recovered at epoch %d", l, e)
+					}
+					changed = changed || masks[e][l] != masks[e-1][l]
+				}
+				if masks[e][l] {
+					downs++
+				}
+			}
+			if e > 0 && s.Changed(e) != changed {
+				t.Fatalf("Changed(%d) = %v, masks say %v", e, s.Changed(e), changed)
+			}
+			if rate == 0 && downs > 0 {
+				t.Fatalf("zero rate downed %d links at epoch %d", downs, e)
+			}
+			if rate == 1 && transient == 0 && e == s.Epochs()-1 && downs != len(net.Links) {
+				t.Fatalf("rate 1 left %d of %d links up at the final epoch", len(net.Links)-downs, len(net.Links))
+			}
+			v, err := r.View(masks[e])
+			if err != nil {
+				t.Fatalf("epoch %d view: %v", e, err)
+			}
+			nn := net.NumNodes()
+			pairs := nn * (nn - 1)
+			want := 1 - float64(v.Unreachable)/float64(pairs)
+			if math.Abs(v.Availability-want) > 1e-12 {
+				t.Fatalf("epoch %d availability %v inconsistent with %d/%d unreachable pairs",
+					e, v.Availability, v.Unreachable, pairs)
+			}
+			if downs == 0 && (v.Net != net || v.Tab != tab) {
+				t.Fatalf("epoch %d empty mask did not return the base view", e)
+			}
+		}
+	})
+}

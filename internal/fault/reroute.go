@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// View is one epoch's routable fabric: the masked network, the degraded
+// routing table rebuilt over it, and the connectivity it retained.
+type View struct {
+	// Net is the masked network (the base network itself when nothing is
+	// down — pointer identity the simulator pools key on).
+	Net *topology.Network
+	// Tab routes over Net; pairs severed by the mask have no next hop and
+	// surface as routing.ErrUnreachable when asked.
+	Tab *routing.Table
+	// Availability is the fraction of ordered (src, dst) pairs still
+	// connected, and Unreachable the count that is not.
+	Availability float64
+	Unreachable  int
+}
+
+// Rerouter adapts routing to fault masks incrementally: each distinct
+// down-link mask is masked, re-routed and cached once, so walking a
+// schedule's epochs only pays for rebuilds when the fault set actually
+// changes (and flapping links that revisit an earlier mask reuse its
+// view). The empty mask returns the base network and table untouched,
+// keeping the zero-fault path bit-identical and pool-compatible.
+//
+// A Rerouter is not safe for concurrent use; sweeps hold one per job.
+type Rerouter struct {
+	base   *View
+	policy routing.Policy
+	views  map[string]*View
+}
+
+// NewRerouter wraps a base network and its (fault-free) routing table.
+func NewRerouter(net *topology.Network, tab *routing.Table, policy routing.Policy) *Rerouter {
+	return &Rerouter{
+		base:   &View{Net: net, Tab: tab, Availability: 1},
+		policy: policy,
+		views:  map[string]*View{},
+	}
+}
+
+// Base returns the fault-free view.
+func (r *Rerouter) Base() *View { return r.base }
+
+// maskKey packs a bool mask into a compact map key.
+func maskKey(down []bool) string {
+	b := make([]byte, (len(down)+7)/8)
+	any := false
+	for i, d := range down {
+		if d {
+			b[i/8] |= 1 << (i % 8)
+			any = true
+		}
+	}
+	if !any {
+		return ""
+	}
+	return string(b)
+}
+
+// View resolves the routable fabric for a down-link mask, building and
+// caching it on first sight.
+func (r *Rerouter) View(down []bool) (*View, error) {
+	key := maskKey(down)
+	if key == "" {
+		return r.base, nil
+	}
+	if v, ok := r.views[key]; ok {
+		return v, nil
+	}
+	net, err := r.base.Net.MaskLinks(down)
+	if err != nil {
+		return nil, err
+	}
+	if net == r.base.Net { // mask named only already-absent links
+		r.views[key] = r.base
+		return r.base, nil
+	}
+	tab, err := routing.BuildDegraded(net, r.policy)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Net: net, Tab: tab, Availability: tab.Availability(), Unreachable: tab.Unreachable()}
+	r.views[key] = v
+	return v, nil
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// Config parameterizes a fault schedule.
+type Config struct {
+	// Rate is the per-link fault probability in [0, 1]: the expected
+	// fraction of links that fault somewhere in the horizon (before
+	// technology scaling).
+	Rate float64
+	// TransientFraction in [0, 1] is the share of faulted links that flap
+	// (go down and come back epoch to epoch) instead of failing
+	// permanently. Zero makes every fault permanent.
+	TransientFraction float64
+	// Epochs divides the run horizon into this many fault epochs; the
+	// down-link mask is constant within an epoch and may change at epoch
+	// boundaries (permanent faults strike at their onset epoch, transient
+	// faults flap per epoch).
+	Epochs int
+	// TechScale optionally scales the fault probability per link
+	// technology class — e.g. to model photonic links failing more often
+	// than electronic wires. A zero entry means 1.0, so the zero value
+	// applies Rate uniformly.
+	TechScale [tech.NumTechnologies]float64
+	// Seed drives the schedule. Schedules with the same (Seed, Rate,
+	// TransientFraction, Epochs, TechScale) over the same network are
+	// bit-identical; sweeps derive per-cell seeds with runner.Seed.
+	Seed int64
+}
+
+// Validate checks the schedule parameters.
+func (c Config) Validate() error {
+	if c.Rate < 0 || c.Rate > 1 || c.Rate != c.Rate {
+		return fmt.Errorf("fault: rate %v outside [0, 1]", c.Rate)
+	}
+	if c.TransientFraction < 0 || c.TransientFraction > 1 || c.TransientFraction != c.TransientFraction {
+		return fmt.Errorf("fault: transient fraction %v outside [0, 1]", c.TransientFraction)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("fault: non-positive epoch count %d", c.Epochs)
+	}
+	for t, s := range c.TechScale {
+		if s < 0 || s != s {
+			return fmt.Errorf("fault: negative tech scale %v for %v", s, tech.Technology(t))
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the SplitMix64 finalizer, the same mixing primitive the
+// runner's seed derivation and the noc corruption draws use.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// u01 maps a 64-bit hash to [0, 1).
+func u01(z uint64) float64 { return float64(z>>11) / (1 << 53) }
+
+const (
+	scheduleSalt = 0xFA417C0DE
+	onsetSalt    = 0x0E50C4E7
+	flapSalt     = 0xF1A9
+	// flapDuty is the fraction of epochs a transient link spends down.
+	flapDuty = 0.5
+)
+
+// Schedule is a deterministic per-link fault timeline over a network: a
+// pure function of (network shape, Config) with no retained RNG state, so
+// any epoch's mask can be computed independently on any worker.
+type Schedule struct {
+	cfg      Config
+	numLinks int
+	// onset[l] is the epoch link l fails permanently at (-1 = never).
+	onset []int32
+	// flap[l] marks transiently faulty links.
+	flap []bool
+	// flapKey is the pre-mixed seed for per-(link, epoch) flap draws.
+	flapKey uint64
+}
+
+// NewSchedule draws the fault timeline for a network.
+func NewSchedule(net *topology.Network, cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		cfg:      cfg,
+		numLinks: len(net.Links),
+		onset:    make([]int32, len(net.Links)),
+		flap:     make([]bool, len(net.Links)),
+		flapKey:  splitmix64(uint64(cfg.Seed) ^ flapSalt),
+	}
+	base := splitmix64(uint64(cfg.Seed) ^ scheduleSalt)
+	for i, l := range net.Links {
+		s.onset[i] = -1
+		scale := cfg.TechScale[l.Tech]
+		if scale == 0 {
+			scale = 1
+		}
+		p := cfg.Rate * scale
+		if p > 1 {
+			p = 1
+		}
+		h := splitmix64(base + uint64(i)*0x9E3779B97F4A7C15)
+		draw := u01(h)
+		if draw >= p {
+			continue // healthy link
+		}
+		if draw < p*(1-cfg.TransientFraction) {
+			// Permanent failure; onset uniform over the horizon.
+			s.onset[i] = int32(splitmix64(h^onsetSalt) % uint64(cfg.Epochs))
+		} else {
+			s.flap[i] = true
+		}
+	}
+	return s, nil
+}
+
+// Epochs returns the schedule's epoch count.
+func (s *Schedule) Epochs() int { return s.cfg.Epochs }
+
+// NumLinks returns the link-mask length.
+func (s *Schedule) NumLinks() int { return s.numLinks }
+
+// flapDown reports whether transient link l is down in epoch e.
+func (s *Schedule) flapDown(l, e int) bool {
+	return u01(splitmix64(s.flapKey^(uint64(l)<<20|uint64(e)))) < flapDuty
+}
+
+// DownAt fills (and returns) the down-link mask of one epoch. A nil or
+// short dst is reallocated. Permanent faults are monotone: once a link's
+// onset epoch passes it stays down for every later epoch.
+func (s *Schedule) DownAt(epoch int, dst []bool) []bool {
+	if cap(dst) < s.numLinks {
+		dst = make([]bool, s.numLinks)
+	}
+	dst = dst[:s.numLinks]
+	for l := 0; l < s.numLinks; l++ {
+		switch {
+		case s.onset[l] >= 0 && epoch >= int(s.onset[l]):
+			dst[l] = true
+		case s.flap[l]:
+			dst[l] = s.flapDown(l, epoch)
+		default:
+			dst[l] = false
+		}
+	}
+	return dst
+}
+
+// Changed reports whether the mask differs between epoch-1 and epoch (the
+// signal to rebuild routing; epoch 0 always reports true). It is
+// allocation-free and O(faulted links).
+func (s *Schedule) Changed(epoch int) bool {
+	if epoch <= 0 {
+		return true
+	}
+	for l := 0; l < s.numLinks; l++ {
+		if s.onset[l] >= 0 && int(s.onset[l]) == epoch {
+			return true
+		}
+		if s.flap[l] && s.flapDown(l, epoch) != s.flapDown(l, epoch-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/topology"
+)
+
+// ThermalConfig parameterizes the load-dependent drift model.
+//
+// The feedback is epoch-lagged: epoch e's error probabilities and trimming
+// overhead derive from the drift accumulated through epoch e-1's measured
+// utilization, which breaks the circularity between the BER that shapes a
+// run and the load that run produces — and keeps every epoch a pure
+// function of already-computed state (the determinism contract).
+type ThermalConfig struct {
+	// BaseFlitErrorProb is the per-traversal corruption probability of an
+	// optical link at zero drift — the device variant's error floor
+	// (dsent.DeviceVariant.FlitErrorProb).
+	BaseFlitErrorProb float64
+	// HeatPerUtil is the drift added per unit link utilization per epoch:
+	// a link carrying one flit per cycle for a whole epoch gains this
+	// much drift.
+	HeatPerUtil float64
+	// Decay in [0, 1) is the drift retained across an epoch boundary
+	// (exponential cooling).
+	Decay float64
+	// BERGainPerDrift multiplies the error floor per unit drift:
+	// p = BaseFlitErrorProb × (1 + BERGainPerDrift × drift), capped at 1.
+	BERGainPerDrift float64
+	// TrimWPerDrift is the extra thermal-trimming power, in watts per
+	// unit drift per optical link, the control loop spends pulling
+	// drifted devices back on their operating point.
+	TrimWPerDrift float64
+}
+
+// DefaultThermal returns a moderate drift model on a variant error floor:
+// half the drift survives each epoch, saturated links gain one drift unit
+// per epoch, which quadruples their error floor and costs 0.1 mW of
+// trimming per link.
+func DefaultThermal(baseProb float64) ThermalConfig {
+	return ThermalConfig{
+		BaseFlitErrorProb: baseProb,
+		HeatPerUtil:       1,
+		Decay:             0.5,
+		BERGainPerDrift:   3,
+		TrimWPerDrift:     1e-4,
+	}
+}
+
+// Validate checks the drift parameters.
+func (c ThermalConfig) Validate() error {
+	if c.BaseFlitErrorProb < 0 || c.BaseFlitErrorProb > 1 || c.BaseFlitErrorProb != c.BaseFlitErrorProb {
+		return fmt.Errorf("fault: base error probability %v outside [0, 1]", c.BaseFlitErrorProb)
+	}
+	if c.Decay < 0 || c.Decay >= 1 || c.Decay != c.Decay {
+		return fmt.Errorf("fault: thermal decay %v outside [0, 1)", c.Decay)
+	}
+	if c.HeatPerUtil < 0 || c.BERGainPerDrift < 0 || c.TrimWPerDrift < 0 {
+		return fmt.Errorf("fault: negative thermal gains %+v", c)
+	}
+	return nil
+}
+
+// Thermal tracks per-link drift state over a run's epochs.
+type Thermal struct {
+	cfg     ThermalConfig
+	optical []bool
+	drift   []float64
+}
+
+// NewThermal starts a zero-drift state over a network.
+func NewThermal(net *topology.Network, cfg ThermalConfig) (*Thermal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	th := &Thermal{
+		cfg:     cfg,
+		optical: make([]bool, len(net.Links)),
+		drift:   make([]float64, len(net.Links)),
+	}
+	for i, l := range net.Links {
+		th.optical[i] = l.Tech.IsOptical()
+	}
+	return th, nil
+}
+
+// Advance folds one epoch's measured activity into the drift state: each
+// optical link's utilization (flits carried per simulated cycle, straight
+// from the activity census) heats it, prior drift cools by Decay.
+func (t *Thermal) Advance(st noc.Stats) error {
+	if len(st.LinkFlits) != len(t.drift) {
+		return fmt.Errorf("fault: stats carry %d link counters, thermal state has %d",
+			len(st.LinkFlits), len(t.drift))
+	}
+	if st.Cycles <= 0 {
+		return fmt.Errorf("fault: thermal advance over %d cycles", st.Cycles)
+	}
+	for i := range t.drift {
+		if !t.optical[i] {
+			continue
+		}
+		util := float64(st.LinkFlits[i]) / float64(st.Cycles)
+		t.drift[i] = t.cfg.Decay*t.drift[i] + t.cfg.HeatPerUtil*util
+	}
+	return nil
+}
+
+// LinkErrorProbs fills (and returns) the per-link flit error probabilities
+// at the current drift, the noc.FaultProfile input for the next epoch.
+// Electronic links are error-free; optical links start at the variant's
+// floor and grow with their drift, capped at 1.
+func (t *Thermal) LinkErrorProbs(dst []float64) []float64 {
+	if cap(dst) < len(t.drift) {
+		dst = make([]float64, len(t.drift))
+	}
+	dst = dst[:len(t.drift)]
+	for i := range dst {
+		dst[i] = 0
+		if !t.optical[i] {
+			continue
+		}
+		p := t.cfg.BaseFlitErrorProb * (1 + t.cfg.BERGainPerDrift*t.drift[i])
+		if p > 1 {
+			p = 1
+		}
+		dst[i] = p
+	}
+	return dst
+}
+
+// TrimmingOverheadW is the extra always-on trimming power at the current
+// drift, summed over optical links — the static overhead
+// energy.PriceWithStaticOverhead charges.
+func (t *Thermal) TrimmingOverheadW() float64 {
+	var w float64
+	for i, d := range t.drift {
+		if t.optical[i] {
+			w += t.cfg.TrimWPerDrift * d
+		}
+	}
+	return w
+}
+
+// MaxDrift returns the hottest link's drift (diagnostic).
+func (t *Thermal) MaxDrift() float64 {
+	var m float64
+	for _, d := range t.drift {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

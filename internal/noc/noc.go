@@ -103,6 +103,12 @@ type Stats struct {
 	Cycles int64
 	// PacketsInjected and PacketsEjected count whole packets.
 	PacketsInjected, PacketsEjected int64
+	// PacketsDropped counts packets whose per-hop retransmission budget
+	// (FaultProfile.RetryLimit) was exhausted: the corrupt payload was
+	// forwarded and discarded at the destination instead of redelivered.
+	// Always zero when no fault profile is armed. Dropped packets are not
+	// in PacketsEjected and contribute no latency samples.
+	PacketsDropped int64
 	// FlitsInjected and FlitsEjected count flits.
 	FlitsInjected, FlitsEjected int64
 	// AvgPacketLatencyClks averages (tail ejection − release) over
@@ -134,8 +140,10 @@ type Stats struct {
 type Activity struct {
 	// BufferWrites and BufferReads count input-VC SRAM accesses: one
 	// write when a flit enters a buffer (injection or link delivery), one
-	// read when the switch allocator sends it. At drain the two are equal
-	// and both equal the sum of Stats.RouterFlits.
+	// read when the switch allocator sends it. At drain of a fault-free
+	// run the two are equal and both equal the sum of Stats.RouterFlits;
+	// under an armed FaultProfile, reads exceed writes by the
+	// retransmission total (see RetransmittedFlitHops).
 	BufferWrites, BufferReads int64
 	// CrossbarTraversals counts switch passes, including the ejection
 	// pass; equals BufferReads at drain (every read feeds the crossbar).
@@ -146,6 +154,15 @@ type Activity struct {
 	LinkFlitHops [tech.NumTechnologies]int64
 	// ExpressFlitHops counts traversals riding express channels.
 	ExpressFlitHops int64
+	// RetransmittedFlitHops[t] counts failed channel traversals — flits
+	// corrupted in flight, NACKed by the receiver and re-sent upstream —
+	// per link technology class. Each failed attempt is also counted in
+	// LinkFlitHops, Stats.LinkFlits, BufferReads and CrossbarTraversals
+	// (the hardware toggled; the energy was spent), so retransmission
+	// overhead is priced exactly like useful traffic. With retransmission
+	// active, BufferReads exceeds BufferWrites by exactly this total at
+	// drain (each retry re-reads without re-writing).
+	RetransmittedFlitHops [tech.NumTechnologies]int64
 	// SourceFlits[n] counts flits injected by node n, the measured
 	// per-source offered load (max over nodes ÷ cycles is the measured
 	// counterpart of the traffic matrix's MaxRowSum).
@@ -156,6 +173,16 @@ type Activity struct {
 func (a *Activity) TotalFlitHops() int64 {
 	var sum int64
 	for _, c := range a.LinkFlitHops {
+		sum += c
+	}
+	return sum
+}
+
+// TotalRetransmits sums failed (retransmitted) channel traversals across
+// technology classes.
+func (a *Activity) TotalRetransmits() int64 {
+	var sum int64
+	for _, c := range a.RetransmittedFlitHops {
 		sum += c
 	}
 	return sum
@@ -202,10 +229,13 @@ type flit struct {
 }
 
 // bufEntry is a buffered flit plus the cycle it becomes eligible for switch
-// allocation (modelling the first two pipeline stages).
+// allocation (modelling the first two pipeline stages). tries counts failed
+// traversal attempts at this hop under an armed FaultProfile; it resets
+// when the flit crosses to the next router.
 type bufEntry struct {
 	f     flit
 	ready int64
+	tries int32
 }
 
 // ring is a fixed-capacity circular FIFO. The simulator's queues are all
@@ -346,6 +376,10 @@ type pktMeta struct {
 	flitsEjected int32
 	hops         int32
 	done         bool
+	// dropped marks a packet that exhausted its retransmission budget;
+	// its flits still flow to the destination (keeping flow control and
+	// VC ownership intact) but are discarded there.
+	dropped bool
 }
 
 // Sim is one simulation instance. It is not safe for concurrent use;
@@ -410,6 +444,13 @@ type Sim struct {
 	// and reused across cycles — the hot path never allocates.
 	cand []int
 	reqs [][]int32
+
+	// fault is the armed BER/retransmission profile (nil = faultless; see
+	// SetFaultProfile). routeErr records the first unroutable packet seen
+	// mid-run — possible only on degraded routing tables — and aborts Run
+	// with a named error instead of panicking on the missing port.
+	fault    *faultState
+	routeErr error
 
 	// classed enables dateline VC-class partitioning: required for the
 	// torus-like hops = Width−1 topology, where packets crossing a row
@@ -650,6 +691,8 @@ func (s *Sim) Reset() {
 	s.totalBuf = 0
 	s.inflight = 0
 	clear(s.activeMask)
+	s.fault = nil
+	s.routeErr = nil
 }
 
 // Inject queues a packet for injection. Must be called before Run.
@@ -716,8 +759,15 @@ func (s *Sim) Run() (Stats, error) {
 	remaining := int64(len(s.pkts))
 	for remaining > 0 {
 		if s.now >= maxCycles {
-			return s.stats, fmt.Errorf("noc: %d packets undrained after %d cycles (deadlock or overload)",
-				remaining, s.now)
+			// Distinguishable saturated status: the partial census up to
+			// the cap, with the cycle count set (not silently truncated),
+			// and a typed error callers match with errors.Is(ErrSaturated).
+			s.stats.Cycles = s.now
+			return s.stats, &SaturatedError{Remaining: remaining, Cycles: s.now}
+		}
+		if s.routeErr != nil {
+			s.stats.Cycles = s.now
+			return s.stats, s.routeErr
 		}
 		// Leap over provably idle cycles. With nothing buffered and no
 		// live source, every router stage and the injection scan are
@@ -942,6 +992,17 @@ func (s *Sim) routeRouter(rid int) {
 				vc.outPort = 0
 			} else {
 				lid := s.tab.NextLink(topology.NodeID(rid), dst)
+				if lid < 0 {
+					// Degraded table with no route: abort the run with a
+					// named error instead of panicking on the missing
+					// port. The flit stays unrouted; Run surfaces the
+					// error at the top of the next cycle.
+					if s.routeErr == nil {
+						s.routeErr = fmt.Errorf("noc: packet %d -> %d unroutable at router %d: %w",
+							s.pkts[head.f.pkt].Src, dst, rid, routing.ErrUnreachable)
+					}
+					continue
+				}
 				vc.outPort = s.outPortOf[lid]
 				// The X→Y dimension transition starts a fresh
 				// ring, so the dateline class resets; the Y
@@ -1082,8 +1143,11 @@ func (s *Sim) switchRouter(rid int, ejected *int64) {
 func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 	r := &s.routers[rid]
 	vc := &r.in[port*s.cfg.VCs+v]
-	e := vc.q.pop()
 	out := &r.out[op]
+	if s.fault != nil && op != 0 && s.faultIntercept(rid, port, v, vc, out) {
+		return // corrupted traversal; the flit stays buffered for retry
+	}
+	e := vc.q.pop()
 	r.inSAPtr[port] = int32(v + 1)
 	s.stats.Activity.BufferReads++
 	s.stats.Activity.CrossbarTraversals++
@@ -1111,12 +1175,19 @@ func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 		p.flitsEjected++
 		if e.f.tail {
 			p.done = true
-			s.stats.PacketsEjected++
-			lat := float64(s.now + 1 - p.Release)
-			s.latSum += lat
-			s.latencies.Add(lat)
-			if l := s.now + 1 - p.Release; l > s.stats.MaxPacketLatencyClks {
-				s.stats.MaxPacketLatencyClks = l
+			if p.dropped {
+				// Retransmission budget exhausted mid-route: the packet
+				// arrived corrupt and is discarded here, reported
+				// explicitly rather than counted as delivered.
+				s.stats.PacketsDropped++
+			} else {
+				s.stats.PacketsEjected++
+				lat := float64(s.now + 1 - p.Release)
+				s.latSum += lat
+				s.latencies.Add(lat)
+				if l := s.now + 1 - p.Release; l > s.stats.MaxPacketLatencyClks {
+					s.stats.MaxPacketLatencyClks = l
+				}
 			}
 			*ejected++
 		}

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -155,6 +156,9 @@ func loadPoint(net *topology.Network, tab *routing.Table, base *traffic.Matrix,
 	sims.Put(sim)
 	pt := LoadPoint{InjectionRate: rate}
 	if err != nil {
+		if !errors.Is(err, ErrSaturated) {
+			return LoadPoint{}, err
+		}
 		pt.Saturated = true
 	} else {
 		pt.AvgLatencyClks = st.AvgPacketLatencyClks

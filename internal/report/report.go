@@ -311,6 +311,67 @@ func ParetoTable(results []core.EnergySweepResult) string {
 	return tbl.String()
 }
 
+// WriteFaultSweep emits the reliability dataset: one row per (topology,
+// design point, device variant, pattern, fault rate) sample with the
+// availability, delivery and CLEAR-degradation measurements.
+func WriteFaultSweep(w io.Writer, results []core.FaultSweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"topology", "base", "express", "hops", "variant", "pattern",
+		"fault_rate", "availability", "down_link_frac", "saturated_epochs",
+		"packets_injected", "packets_delivered", "packets_dropped", "packets_unroutable",
+		"retransmits", "avg_latency_clks", "fj_per_bit",
+		"trim_overhead_w", "max_drift", "clear_sim", "clear_degradation",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.Points {
+			if err := cw.Write([]string{
+				sweepKind(r.Kind),
+				r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
+				r.Variant, r.Pattern,
+				f(p.FaultRate), f(p.Availability), f(p.DownLinkFrac),
+				strconv.Itoa(p.SaturatedEpochs),
+				strconv.FormatInt(p.PacketsInjected, 10),
+				strconv.FormatInt(p.PacketsDelivered, 10),
+				strconv.FormatInt(p.PacketsDropped, 10),
+				strconv.FormatInt(p.PacketsUnroutable, 10),
+				strconv.FormatInt(p.Retransmits, 10),
+				f(p.AvgLatencyClks), f(p.FJPerBit),
+				f(p.TrimOverheadW), f(p.MaxDrift),
+				f(p.CLEAR), f(p.CLEARDegradation),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FaultTable renders the availability / CLEAR-degradation matrix as an
+// aligned text table: one row per (cell, fault rate) sample.
+func FaultTable(results []core.FaultSweepResult) string {
+	tbl := stats.NewTable("topology", "design point", "pattern", "fault",
+		"avail", "unroutable", "dropped", "retx", "lat(clk)", "fJ/bit", "CLEAR×").
+		AlignRight(3, 4, 5, 6, 7, 8, 9, 10)
+	for _, r := range results {
+		for _, p := range r.Points {
+			tbl.AddRow(string(r.Kind), r.PointLabel(), r.Pattern,
+				strconv.FormatFloat(p.FaultRate, 'g', 4, 64),
+				strconv.FormatFloat(p.Availability, 'f', 4, 64),
+				strconv.FormatInt(p.PacketsUnroutable, 10),
+				strconv.FormatInt(p.PacketsDropped, 10),
+				strconv.FormatInt(p.Retransmits, 10),
+				strconv.FormatFloat(p.AvgLatencyClks, 'f', 1, 64),
+				strconv.FormatFloat(p.FJPerBit, 'f', 0, 64),
+				strconv.FormatFloat(p.CLEARDegradation, 'f', 3, 64))
+		}
+	}
+	return tbl.String()
+}
+
 // WriteRadar emits the Fig. 8 dataset: one row per corner.
 func WriteRadar(w io.Writer, radar optical.Radar) error {
 	cw := csv.NewWriter(w)

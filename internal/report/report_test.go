@@ -282,6 +282,69 @@ func TestEnergyAndParetoTables(t *testing.T) {
 // TestJSONLine pins the wire-encoding contract the serve protocol builds
 // on: compact single-line output, byte-stable across calls, HTML metas
 // unescaped so messages read back verbatim.
+// faultSweepResults builds a tiny two-cell matrix: a healthy baseline
+// cell and a variant cell that degrades at the top of the rate ladder.
+func faultSweepResults() []core.FaultSweepResult {
+	mesh := core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}
+	hybrid := core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}
+	healthy := core.FaultPoint{FaultRate: 0, Availability: 1, PacketsInjected: 500,
+		PacketsDelivered: 500, AvgLatencyClks: 21.5, FJPerBit: 61000,
+		CLEAR: 2.5, CLEARDegradation: 1}
+	degraded := core.FaultPoint{FaultRate: 0.2, Availability: 0.875, DownLinkFrac: 0.15,
+		PacketsInjected: 500, PacketsDelivered: 440, PacketsDropped: 60,
+		PacketsUnroutable: 55, Retransmits: 12, AvgLatencyClks: 29.0,
+		FJPerBit: 68000, TrimOverheadW: 0.002, MaxDrift: 0.4,
+		CLEAR: 1.9, CLEARDegradation: 0.76}
+	return []core.FaultSweepResult{
+		{Kind: topology.Mesh, Point: mesh, Variant: "", Pattern: "uniform",
+			Points: []core.FaultPoint{healthy, degraded}},
+		{Kind: topology.Mesh, Point: hybrid, Variant: "modetector", Pattern: "uniform",
+			Points: []core.FaultPoint{healthy}},
+	}
+}
+
+func TestWriteFaultSweep(t *testing.T) {
+	results := faultSweepResults()
+	var buf bytes.Buffer
+	if err := WriteFaultSweep(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Check(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Errorf("CSV rows %d, want 3", rows)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "topology,base,express,hops,variant,pattern,fault_rate,") {
+		t.Errorf("header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	for _, col := range []string{"availability", "packets_unroutable", "retransmits",
+		"trim_overhead_w", "clear_degradation"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("column %q missing from header", col)
+		}
+	}
+	if !strings.Contains(out, "modetector") || !strings.Contains(out, "0.875") {
+		t.Error("rows missing variant/availability data")
+	}
+}
+
+func TestFaultTable(t *testing.T) {
+	tbl := FaultTable(faultSweepResults())
+	for _, want := range []string{"avail", "CLEAR×", "0.8750", "modetector", "uniform"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("fault table missing %q:\n%s", want, tbl)
+		}
+	}
+	for i, l := range strings.Split(tbl, "\n") {
+		if l != strings.TrimRight(l, " ") {
+			t.Errorf("line %d has trailing padding: %q", i, l)
+		}
+	}
+}
+
 func TestJSONLine(t *testing.T) {
 	type row struct {
 		Name string  `json:"name"`

@@ -33,10 +33,19 @@
 package routing
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/topology"
 )
+
+// ErrUnreachable is wrapped by every routing error caused by a
+// disconnected fabric: Build on a network with unreachable (src,dst)
+// pairs, NextLinkErr/HopErr on a missing route. Callers that tolerate
+// degraded fabrics (the fault layer) test for it with errors.Is and use
+// BuildDegraded; everyone else treats it as fatal instead of receiving a
+// silently invalid table or a panic.
+var ErrUnreachable = errors.New("routing: destination unreachable")
 
 // Policy selects the table construction algorithm.
 type Policy int
@@ -77,6 +86,13 @@ type Table struct {
 	policy Policy
 	next   [][]topology.LinkID // table backend [node][dst]; nil when alg is set
 	alg    *mono               // algorithmic backend; nil when next is set
+	// unreachable counts ordered (src,dst) pairs, src != dst, with no
+	// route — always zero for tables from Build (which rejects them) and
+	// for the algorithmic backend (monotone kinds are connected by
+	// construction); nonzero only for BuildDegraded tables.
+	unreachable int
+	// firstUnreachable records one disconnected pair for diagnostics.
+	firstUnreachable [2]topology.NodeID
 }
 
 // allocNext allocates the dense table backend, all entries noLink.
@@ -93,15 +109,42 @@ func (t *Table) allocNext() {
 }
 
 // Build constructs a routing table for the network under the given policy.
+// A fabric with disconnected (src,dst) pairs — a masked network can be one
+// — yields a nil table and an error wrapping ErrUnreachable naming a
+// disconnected pair; use BuildDegraded to route the connected subset.
 func Build(net *topology.Network, policy Policy) (*Table, error) {
+	t, err := build(net, policy)
+	if err != nil {
+		return nil, err
+	}
+	if t.unreachable > 0 {
+		return nil, fmt.Errorf("%w: %d -> %d (and %d more of %d pairs)",
+			ErrUnreachable, t.firstUnreachable[0], t.firstUnreachable[1],
+			t.unreachable-1, t.orderedPairs())
+	}
+	return t, nil
+}
+
+// BuildDegraded constructs a best-effort table on a possibly disconnected
+// fabric: connected pairs route normally, disconnected ones answer noLink
+// from NextLink and a wrapped ErrUnreachable from NextLinkErr/HopErr.
+// Availability reports the connected fraction. Masked networks always take
+// the generic BFS builder (their wiring no longer matches the kind's
+// closed monotone forms).
+func BuildDegraded(net *topology.Network, policy Policy) (*Table, error) {
+	return build(net, policy)
+}
+
+func build(net *topology.Network, policy Policy) (*Table, error) {
 	t := &Table{net: net, policy: policy}
 	switch policy {
 	case MonotoneExpress:
-		if net.KindSpec().Monotone {
+		if net.KindSpec().Monotone && !net.IsMasked() {
 			t.alg = newMono(net)
 		} else {
 			// Generic fallback for kinds without dimension-ordered
-			// monotone phases (see the package comment).
+			// monotone phases (see the package comment) and for masked
+			// degraded views of any kind.
 			t.allocNext()
 			t.buildShortest()
 		}
@@ -112,6 +155,32 @@ func Build(net *topology.Network, policy Policy) (*Table, error) {
 		return nil, fmt.Errorf("routing: unknown policy %v", policy)
 	}
 	return t, nil
+}
+
+// orderedPairs returns the number of ordered (src,dst) pairs, src != dst.
+func (t *Table) orderedPairs() int {
+	nn := t.net.NumNodes()
+	return nn * (nn - 1)
+}
+
+// Unreachable returns the number of ordered (src,dst) pairs with no route.
+func (t *Table) Unreachable() int { return t.unreachable }
+
+// Availability returns the fraction of ordered (src,dst) pairs, src != dst,
+// that are still connected — 1 for any table out of Build, possibly lower
+// for BuildDegraded tables on masked fabrics. This is the per-run
+// availability metric of the fault layer.
+func (t *Table) Availability() float64 {
+	if t.unreachable == 0 {
+		return 1
+	}
+	return 1 - float64(t.unreachable)/float64(t.orderedPairs())
+}
+
+// Reachable reports whether a route from src to dst exists (true when
+// src == dst).
+func (t *Table) Reachable(src, dst topology.NodeID) bool {
+	return src == dst || t.NextLink(src, dst) != noLink
 }
 
 // MustBuild is Build that panics on error.
@@ -339,6 +408,14 @@ func (t *Table) buildShortest() {
 			if at == d {
 				continue
 			}
+			if dist[at] < 0 {
+				// No path from at to d on this (possibly masked) fabric.
+				if t.unreachable == 0 {
+					t.firstUnreachable = [2]topology.NodeID{topology.NodeID(at), dstN}
+				}
+				t.unreachable++
+				continue
+			}
 			t.next[at][d] = t.shortestNext(topology.NodeID(at), dstN, dist)
 		}
 	}
@@ -396,12 +473,25 @@ func (t *Table) shortestNext(at, dst topology.NodeID, dist []int) topology.LinkI
 }
 
 // NextLink returns the out-channel to take at `at` heading for `dst`, or
-// -1 when at == dst.
+// -1 when at == dst — and, on a degraded table, when dst is unreachable
+// from at (NextLinkErr distinguishes the two).
 func (t *Table) NextLink(at, dst topology.NodeID) topology.LinkID {
 	if t.alg != nil {
 		return t.alg.nextLink(at, dst)
 	}
 	return t.next[at][dst]
+}
+
+// NextLinkErr is NextLink with the missing-route case surfaced as a named
+// error: a route answers (link, nil), at == dst answers (-1, nil), and an
+// unreachable destination answers (-1, err) with errors.Is(err,
+// ErrUnreachable) true and both endpoints in the message.
+func (t *Table) NextLinkErr(at, dst topology.NodeID) (topology.LinkID, error) {
+	lid := t.NextLink(at, dst)
+	if lid == noLink && at != dst {
+		return noLink, fmt.Errorf("%w: no route %d -> %d", ErrUnreachable, at, dst)
+	}
+	return lid, nil
 }
 
 // Hop is the single guarded step shared by every route walker (Path,
@@ -420,10 +510,11 @@ func (t *Table) Hop(at, dst topology.NodeID, hops int) *topology.Link {
 	return &t.net.Links[lid]
 }
 
-// HopErr reports why Hop(at, dst, hops) returned nil.
+// HopErr reports why Hop(at, dst, hops) returned nil. A missing route
+// wraps ErrUnreachable.
 func (t *Table) HopErr(at, dst topology.NodeID, hops int) error {
 	if t.NextLink(at, dst) == noLink {
-		return fmt.Errorf("routing: no route -> %d at %d", dst, at)
+		return fmt.Errorf("%w: no route %d -> %d", ErrUnreachable, at, dst)
 	}
 	if hops >= t.net.NumNodes() {
 		return fmt.Errorf("routing: path to %d exceeds node count; table is cyclic", dst)

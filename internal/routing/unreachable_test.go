@@ -1,0 +1,205 @@
+package routing
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func mesh4x4(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.Build(topology.Config{
+		Width: 4, Height: 4,
+		CoreSpacingM: 1 * units.Millimetre,
+		CapacityBps:  50e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// maskNode returns a view of net with every channel touching id down.
+func maskNode(t *testing.T, net *topology.Network, id topology.NodeID) *topology.Network {
+	t.Helper()
+	down := make([]bool, len(net.Links))
+	for _, l := range net.Links {
+		if l.Src == id || l.Dst == id {
+			down[l.ID] = true
+		}
+	}
+	m, err := net.MaskLinks(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsMasked() {
+		t.Fatal("expected a masked view")
+	}
+	return m
+}
+
+func TestMaskLinksIdentity(t *testing.T) {
+	net := mesh4x4(t)
+	m, err := net.MaskLinks(make([]bool, len(net.Links)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != net {
+		t.Fatal("empty mask must return the original network pointer")
+	}
+	if net.IsMasked() {
+		t.Fatal("original network must not be masked")
+	}
+	if _, err := net.MaskLinks(make([]bool, 3)); err == nil {
+		t.Fatal("wrong mask length must error")
+	}
+}
+
+func TestMaskLinksAdjacency(t *testing.T) {
+	net := mesh4x4(t)
+	m := maskNode(t, net, 15)
+	if len(m.Links) != len(net.Links) {
+		t.Fatalf("masked view must share Links: %d != %d", len(m.Links), len(net.Links))
+	}
+	if got := len(m.OutLinks(15)); got != 0 {
+		t.Fatalf("isolated node still has %d out-links", got)
+	}
+	if got := len(m.InLinks(15)); got != 0 {
+		t.Fatalf("isolated node still has %d in-links", got)
+	}
+	if got := len(m.DownLinks()); got != 4 {
+		t.Fatalf("corner isolation should mask 4 channels, got %d", got)
+	}
+	// Node 14 lost exactly its pair to 15.
+	if got, want := len(m.OutLinks(14)), len(net.OutLinks(14))-1; got != want {
+		t.Fatalf("node 14 out-degree %d, want %d", got, want)
+	}
+}
+
+// TestBuildUnreachable pins the satellite contract: Build on a
+// disconnected fabric returns a named ErrUnreachable with the src/dst
+// pair in the message, never an invalid table or a panic, under both
+// policies.
+func TestBuildUnreachable(t *testing.T) {
+	net := mesh4x4(t)
+	m := maskNode(t, net, 15)
+	for _, policy := range []Policy{MonotoneExpress, ShortestHops} {
+		tab, err := Build(m, policy)
+		if tab != nil {
+			t.Fatalf("%v: Build on a disconnected fabric returned a table", policy)
+		}
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("%v: err = %v, want ErrUnreachable", policy, err)
+		}
+		if !strings.Contains(err.Error(), "15") || !strings.Contains(err.Error(), "->") {
+			t.Fatalf("%v: error %q does not name the disconnected pair", policy, err)
+		}
+	}
+}
+
+func TestBuildDegradedAvailability(t *testing.T) {
+	net := mesh4x4(t)
+	m := maskNode(t, net, 15)
+	tab, err := BuildDegraded(m, MonotoneExpress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 15 is isolated: 15 pairs outbound + 15 inbound of 240 ordered.
+	if got := tab.Unreachable(); got != 30 {
+		t.Fatalf("Unreachable = %d, want 30", got)
+	}
+	if got, want := tab.Availability(), 1-30.0/240; got != want {
+		t.Fatalf("Availability = %v, want %v", got, want)
+	}
+	if tab.Reachable(0, 15) {
+		t.Fatal("0 -> 15 must be unreachable")
+	}
+	if !tab.Reachable(0, 5) || !tab.Reachable(3, 3) {
+		t.Fatal("connected pairs must stay reachable")
+	}
+	if _, err := tab.NextLinkErr(0, 15); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("NextLinkErr(0,15) = %v, want ErrUnreachable", err)
+	} else if !strings.Contains(err.Error(), "0 -> 15") {
+		t.Fatalf("NextLinkErr message %q lacks src/dst", err)
+	}
+	if lid, err := tab.NextLinkErr(0, 5); err != nil || lid < 0 {
+		t.Fatalf("NextLinkErr(0,5) = %v, %v; want a link", lid, err)
+	}
+	if err := tab.HopErr(0, 15, 0); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("HopErr(0,15) = %v, want ErrUnreachable", err)
+	}
+	// Connected pairs still walk end to end on the degraded table.
+	if got := tab.HopCount(0, 10); got <= 0 {
+		t.Fatalf("HopCount(0,10) = %d", got)
+	}
+}
+
+// TestBuildDegradedPartition cuts the 4×4 mesh between columns 1 and 2:
+// two 8-node islands, so 2·8·8 = 128 of 240 ordered pairs disconnect.
+func TestBuildDegradedPartition(t *testing.T) {
+	net := mesh4x4(t)
+	down := make([]bool, len(net.Links))
+	for _, l := range net.Links {
+		sx, dx := net.X(l.Src), net.X(l.Dst)
+		if (sx == 1 && dx == 2) || (sx == 2 && dx == 1) {
+			down[l.ID] = true
+		}
+	}
+	m, err := net.MaskLinks(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := BuildDegraded(m, ShortestHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Unreachable(); got != 128 {
+		t.Fatalf("Unreachable = %d, want 128", got)
+	}
+	if got, want := tab.Availability(), 1-128.0/240; got != want {
+		t.Fatalf("Availability = %v, want %v", got, want)
+	}
+	// Same-island pairs reroute fine.
+	if !tab.Reachable(0, 13) {
+		t.Fatal("0 -> 13 should stay reachable inside the left island")
+	}
+	if tab.Reachable(0, 3) {
+		t.Fatal("0 -> 3 crosses the cut and must be unreachable")
+	}
+}
+
+// TestBuildDegradedReroute masks one interior channel pair and checks the
+// degraded table routes around it with full availability.
+func TestBuildDegradedReroute(t *testing.T) {
+	net := mesh4x4(t)
+	down := make([]bool, len(net.Links))
+	for _, l := range net.Links {
+		if (l.Src == 5 && l.Dst == 6) || (l.Src == 6 && l.Dst == 5) {
+			down[l.ID] = true
+		}
+	}
+	m, err := net.MaskLinks(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := BuildDegraded(m, MonotoneExpress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Availability(); got != 1 {
+		t.Fatalf("Availability = %v, want 1 (reroute exists)", got)
+	}
+	for _, lid := range tab.Path(5, 6) {
+		l := net.Links[lid]
+		if l.Src == 5 && l.Dst == 6 {
+			t.Fatal("path 5 -> 6 uses the masked channel")
+		}
+	}
+	// A strict Build also succeeds: the fabric is still connected.
+	if _, err := Build(m, MonotoneExpress); err != nil {
+		t.Fatalf("Build on connected masked fabric: %v", err)
+	}
+}

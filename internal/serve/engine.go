@@ -146,6 +146,11 @@ type Engine struct {
 	closed bool
 	cache  map[string]*entry
 
+	// draining marks the graceful-shutdown window: transports refuse new
+	// queries (HTTP 503 / code "draining") while queries already accepted
+	// finish and deliver their answers.
+	draining atomic.Bool
+
 	queue        chan *job
 	dispatcherWG sync.WaitGroup
 
@@ -181,6 +186,15 @@ func (e *Engine) Close() {
 	e.mu.Unlock()
 	e.dispatcherWG.Wait()
 }
+
+// StartDraining flips the engine into its graceful-shutdown window: the
+// transports reject queries arriving afterwards with code "draining"
+// (HTTP 503) while accepted queries run to completion. Idempotent; Close
+// still owns stopping the dispatcher.
+func (e *Engine) StartDraining() { e.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (e *Engine) Draining() bool { return e.draining.Load() }
 
 // Stats snapshots the serving counters.
 func (e *Engine) Stats() Stats {

@@ -367,6 +367,79 @@ func TestHTTPHandler(t *testing.T) {
 	}
 }
 
+// TestHTTPDraining covers the graceful-shutdown window: once the engine
+// drains, new queries answer 503 draining (with Retry-After) and /healthz
+// stops reporting ok, while already-cached answers stay reachable after
+// the drain ends only through fresh connections — the handler refuses at
+// the door, not mid-flight.
+func TestHTTPDraining(t *testing.T) {
+	e := newTestEngine(t)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	query := `{"id":"d1","width":4,"height":4,"pattern":"uniform","load":0.05}`
+	resp, err := srv.Client().Post(srv.URL+"/query", "application/json", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pre-drain query: want 200, got %d", resp.StatusCode)
+	}
+
+	if e.Draining() {
+		t.Fatal("engine draining before StartDraining")
+	}
+	e.StartDraining()
+	if !e.Draining() {
+		t.Fatal("StartDraining did not latch")
+	}
+
+	resp, err = srv.Client().Post(srv.URL+"/query", "application/json", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || !strings.Contains(buf.String(), CodeDraining) {
+		t.Errorf("draining query: want 503 %s, got %d %s", CodeDraining, resp.StatusCode, buf.String())
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining response misses Retry-After")
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("draining healthz: want 503, got %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPBodyLimit pins the request-size bound: a body over the stdio
+// line limit is refused explicitly instead of being truncated into a
+// different (possibly valid) query.
+func TestHTTPBodyLimit(t *testing.T) {
+	e := newTestEngine(t)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	huge := `{"id":"` + strings.Repeat("x", maxLineBytes) + `"}`
+	resp, err := srv.Client().Post(srv.URL+"/query", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 || !strings.Contains(buf.String(), CodeBadRequest) {
+		t.Errorf("oversized body: want 400 %s, got %d %s", CodeBadRequest, resp.StatusCode, buf.String())
+	}
+}
+
 // TestQueueFullMapsTo429 pins the backpressure status without needing to
 // race real HTTP requests: the writer maps the code, the engine produces
 // it (TestBackpressureQueueFull).
@@ -378,6 +451,7 @@ func TestQueueFullMapsTo429(t *testing.T) {
 		{CodeQueueFull, 429},
 		{CodeEvalFailed, 422},
 		{CodeCanceled, 503},
+		{CodeDraining, 503},
 		{CodeBadLoad, 400},
 	}
 	for _, c := range cases {
@@ -386,8 +460,8 @@ func TestQueueFullMapsTo429(t *testing.T) {
 		if rec.Code != c.want {
 			t.Errorf("%s: want %d, got %d", c.code, c.want, rec.Code)
 		}
-		if c.code == CodeQueueFull && rec.Header().Get("Retry-After") == "" {
-			t.Error("queue_full response misses Retry-After")
+		if (c.code == CodeQueueFull || c.code == CodeDraining) && rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%s response misses Retry-After", c.code)
 		}
 	}
 }

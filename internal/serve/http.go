@@ -16,9 +16,15 @@ import (
 // Status codes map the protocol error classes: 200 for answered queries,
 // 400 for every validation rejection, 429 (with Retry-After) for
 // queue-full backpressure, 422 for queries that validate but cannot be
-// evaluated, 503 for a canceled wait. The response body is always the
-// same canonical JSON line the stdio mode writes, so the two transports
-// share one golden suite.
+// evaluated, 503 for a canceled wait or a draining server. The response
+// body is always the same canonical JSON line the stdio mode writes, so
+// the two transports share one golden suite.
+//
+// Request bodies are hard-limited to the stdio line bound (1 MiB): an
+// oversized body is rejected explicitly rather than silently truncated
+// into a different query. While the engine drains (StartDraining), /query
+// answers 503 draining and /healthz stops reporting ok, so load balancers
+// shed traffic during graceful shutdown.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -26,9 +32,17 @@ func (e *Engine) Handler() http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxLineBytes))
+		if e.Draining() {
+			writeResponse(w, errResponse("", errf(CodeDraining, "", "server draining, retry elsewhere")))
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxLineBytes))
 		if err != nil {
-			writeResponse(w, errResponse("", errf(CodeBadJSON, "", "reading body: %v", err)))
+			code := CodeBadJSON
+			if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+				code = CodeBadRequest
+			}
+			writeResponse(w, errResponse("", errf(code, "", "reading body: %v", err)))
 			return
 		}
 		req, decErr := DecodeRequest(body)
@@ -48,6 +62,10 @@ func (e *Engine) Handler() http.Handler {
 		w.Write(append(line, '\n'))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	return mux
@@ -66,6 +84,9 @@ func writeResponse(w http.ResponseWriter, resp Response) {
 			status = http.StatusUnprocessableEntity
 		case CodeCanceled:
 			status = http.StatusServiceUnavailable
+		case CodeDraining:
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		}
 		w.WriteHeader(status)
 	}

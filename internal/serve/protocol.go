@@ -45,6 +45,7 @@ const (
 	CodeQueueFull      = "queue_full"
 	CodeEvalFailed     = "eval_failed"
 	CodeCanceled       = "canceled"
+	CodeDraining       = "draining"
 )
 
 // Request is one estimation query: a topology kind, a design point, a

@@ -1,0 +1,88 @@
+package tech
+
+// Device variants from the companion papers (PAPERS.md). These are the
+// physical parameter snapshots the dsent variant registry derives its
+// alternative cost/BER models from; like the Table I transcriptions above,
+// values not stated outright in the papers are modeled estimates, flagged
+// per field.
+
+// MODetectorParams describes the MODetector (arXiv:1712.01364): a single
+// hybrid photonic-plasmonic device that works as the E-O modulator under
+// drive bias and as the O-E detector under read-out bias, halving the
+// active device count per link end. The compromise is a lossier optical
+// path and far weaker detection responsivity than a dedicated
+// photodetector — the link's laser must make up the difference — and a
+// nonzero residual error floor at speed.
+type MODetectorParams struct {
+	// BareSpeedGbps is the dual-function device bandwidth.
+	BareSpeedGbps float64
+	// ModulationEnergyFJPerBit is the E-O drive energy (fJ/bit); the ITO
+	// gating capacitance is below the HyPPI MOS modulator's.
+	ModulationEnergyFJPerBit float64
+	// InsertionLossDB is the optical loss through the device — higher
+	// than HyPPI's 0.6 dB because one structure serves both functions.
+	InsertionLossDB float64
+	// ExtinctionRatioDB is the on/off contrast in modulator mode.
+	ExtinctionRatioDB float64
+	// AreaUM2 is the device footprint.
+	AreaUM2 float64
+	// DetectionResponsivityAPerW converts received optical power to
+	// photocurrent in detector mode; ITO absorption read-out is much
+	// weaker than a germanium photodiode (modeled estimate).
+	DetectionResponsivityAPerW float64
+	// FlitErrorProb is the nominal probability a 64-bit flit traversal is
+	// corrupted at the reduced detection margin, before thermal drift
+	// (modeled estimate from the sensitivity penalty).
+	FlitErrorProb float64
+}
+
+// MODetectorTable returns the MODetector device snapshot.
+func MODetectorTable() MODetectorParams {
+	return MODetectorParams{
+		BareSpeedGbps:              115,
+		ModulationEnergyFJPerBit:   1.8,
+		InsertionLossDB:            2.2,
+		ExtinctionRatioDB:          8,
+		AreaUM2:                    2,
+		DetectionResponsivityAPerW: 0.06,
+		FlitErrorProb:              2e-4,
+	}
+}
+
+// HybridRouter5x5Params describes the non-blocking broadband 5×5 hybrid
+// photonic-plasmonic router (arXiv:1708.07159): a photonic routing fabric
+// with plasmonic switching elements that lets through-traffic stay in the
+// optical domain instead of paying the full electronic buffer/crossbar
+// pass at every hop.
+type HybridRouter5x5Params struct {
+	// Ports is the router radix the design targets.
+	Ports int
+	// InsertionLossDB is the worst-path optical loss through the router,
+	// added to the loss budget of every link it terminates.
+	InsertionLossDB float64
+	// CrosstalkDB is the worst-case inter-port crosstalk suppression
+	// (negative dB; sets the error floor of the optical path).
+	CrosstalkDB float64
+	// AreaUM2 is the routing-fabric footprint (modeled estimate).
+	AreaUM2 float64
+	// SwitchFractionOfXbar is the fraction of the electronic crossbar +
+	// arbitration energy still spent per flit when the optical fabric
+	// carries the through-traffic (modeled estimate: allocation stays
+	// electronic, traversal goes optical).
+	SwitchFractionOfXbar float64
+	// FlitErrorProb is the nominal per-traversal corruption probability
+	// from residual crosstalk (modeled estimate).
+	FlitErrorProb float64
+}
+
+// HybridRouter5x5Table returns the 5×5 hybrid router snapshot.
+func HybridRouter5x5Table() HybridRouter5x5Params {
+	return HybridRouter5x5Params{
+		Ports:                5,
+		InsertionLossDB:      1.0,
+		CrosstalkDB:          -20,
+		AreaUM2:              600,
+		SwitchFractionOfXbar: 0.7,
+		FlitErrorProb:        1e-4,
+	}
+}

@@ -161,6 +161,11 @@ type Network struct {
 	out [][]LinkID
 	// in[node] lists the IDs of channels entering the node.
 	in [][]LinkID
+	// masked marks a degraded view produced by MaskLinks: some channels
+	// in Links are absent from out/in, so the closed-form monotone
+	// routing backends (which assume the kind's full wiring) do not
+	// apply and routing must fall back to the generic BFS builder.
+	masked bool
 }
 
 // Build constructs the network for a configuration, dispatching to the
