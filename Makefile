@@ -19,6 +19,9 @@
 #   make fault-smoke   — the reliability gate: fault-layer invariants plus
 #                        the FaultSweep suite (zero-fault differential,
 #                        worker-count determinism, variant BER coupling)
+#   make taskgraph-smoke — the closed-loop workload gate: allreduce and MoE
+#                        operator graphs on the 8×8 hybrid under a wall
+#                        budget (see TestTaskGraphSmoke)
 
 GO ?= go
 
@@ -26,7 +29,7 @@ GO ?= go
 # pinned baseline.
 BENCH_OUT ?= /tmp/hyppi-bench-current.txt
 
-.PHONY: ci vet test short race fmt-check bench bench-baseline bench-compare scale-smoke golden golden-serve examples-smoke serve-smoke fault-smoke
+.PHONY: ci vet test short race fmt-check bench bench-baseline bench-compare scale-smoke golden golden-serve examples-smoke serve-smoke fault-smoke taskgraph-smoke
 
 # Ordered so the cheapest gates fail first: vet (seconds), short
 # (seconds), race-short (tens of seconds), then the full suite.
@@ -106,3 +109,10 @@ serve-smoke:
 fault-smoke:
 	$(GO) test ./internal/fault -timeout 300s -v
 	$(GO) test ./internal/core -run TestFaultSweep -timeout 600s -v
+
+# The closed-loop workload gate: the ring/tree-allreduce and MoE
+# all-to-all operator graphs replayed with dependency-gated injection on
+# the paper's 8×8 electronic+HyPPI hybrid — makespans must respect their
+# contention-free critical-path bounds inside a CI-container wall budget.
+taskgraph-smoke:
+	$(GO) test ./internal/core -run TestTaskGraphSmoke -timeout 300s -v

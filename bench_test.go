@@ -26,6 +26,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/serve"
 	"repro/internal/serve/loadtest"
+	"repro/internal/taskgraph"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -590,6 +591,36 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	b.ReportMetric(qps, "queries/s")
 	b.ReportMetric(hitPct, "hit_%")
+}
+
+// BenchmarkTaskGraphMakespan measures the closed-loop task-graph layer
+// end to end: the ring-allreduce and MoE all-to-all operator graphs
+// replayed with dependency-gated injection on the paper's 8×8
+// electronic + HyPPI express@5 hybrid, reporting each graph's end-to-end
+// makespan and its stretch over the contention-free critical-path bound
+// (the congestion-feedback figure of merit; ring-allreduce is
+// contention-free on the ring, MoE is not).
+func BenchmarkTaskGraphMakespan(b *testing.B) {
+	gens, err := taskgraph.ParseGenerators("ring-allreduce,moe-alltoall")
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Topology.Width, o.Topology.Height = 8, 8
+	sc := core.DefaultTaskGraphSweep()
+	points := []core.DesignPoint{{Base: tech.Electronic, Express: tech.HyPPI, Hops: 5}}
+	var res []core.TaskGraphResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = core.TaskGraphSweep(context.Background(), points, gens, sc, o, runner.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res[0].MakespanClks), "allreduce_makespan_clks")
+	b.ReportMetric(float64(res[1].MakespanClks), "moe_makespan_clks")
+	b.ReportMetric(res[1].Stretch, "moe_stretch_x")
 }
 
 // BenchmarkFaultedSweep measures the fault and variation layer end to

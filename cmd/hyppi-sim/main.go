@@ -14,6 +14,8 @@
 //	hyppi-sim -pattern tornado -energy
 //	hyppi-sim -pattern uniform -faults
 //	hyppi-sim -pattern uniform -faults -variant modetector,hybrid5x5 -csv
+//	hyppi-sim -taskgraph ring-allreduce [-express HyPPI]
+//	hyppi-sim -taskgraph all -topology all -csv
 //	hyppi-sim -kernel FT -topology torus
 //	hyppi-sim -cpuprofile cpu.out -memprofile mem.out
 //
@@ -28,6 +30,15 @@
 // activity-based energy subsystem (internal/energy): measured fJ/bit, the
 // simulated CLEAR, and the latency–energy Pareto frontier across the
 // competing design points of each (topology, pattern) scenario.
+//
+// With -taskgraph, hyppi-sim runs closed-loop operator graphs instead
+// of open-loop traffic: each registry generator (reduce trees, ring and
+// tree allreduce, attention all-gather, MoE all-to-all, pipeline
+// microbatches — or "all") builds a message DAG whose packets inject
+// only when their dependencies' tails eject, and the end-to-end makespan
+// is scored against the contention-free critical-path bound. On the mesh
+// the express hop ladder competes; -topology sweeps plain fabrics per
+// kind; -csv emits the dataset instead of the aligned table.
 //
 // Adding -faults instead runs the reliability sweep (internal/fault):
 // seed-derived link-failure schedules at each rate of a ladder, adaptive
@@ -62,6 +73,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/taskgraph"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -97,6 +109,8 @@ var (
 		" (comma list or \"all\" in pattern mode; single kind for traces)"
 	variantUsage = "with -faults: device-variant registry entries to sweep (" +
 		strings.Join(variantNames(), ", ") + "; comma list or \"all\")"
+	taskgraphUsage = "closed-loop operator-graph makespan sweep: a registry generator (" +
+		strings.Join(taskgraph.Names(), ", ") + ") or \"all\""
 )
 
 // variantNames lists the dsent device-variant registry with the baseline's
@@ -146,6 +160,7 @@ func run() int {
 	kernel := flag.String("kernel", "all", "kernel: FT, CG, MG, LU or all")
 	traceFile := flag.String("trace", "", "external trace file (overrides -kernel)")
 	pattern := flag.String("pattern", "", patternUsage)
+	taskgraphFlag := flag.String("taskgraph", "", taskgraphUsage)
 	topoFlag := flag.String("topology", "mesh", topologyUsage)
 	grid := flag.String("grid", "8x8", "pattern-sweep router grid as WxH (e.g. 64x64)")
 	energySweep := flag.Bool("energy", false,
@@ -185,6 +200,23 @@ func run() int {
 		return 1
 	}
 
+	if *taskgraphFlag != "" {
+		if *pattern != "" {
+			fmt.Fprintln(os.Stderr, "hyppi-sim: -taskgraph and -pattern are mutually exclusive")
+			return 1
+		}
+		w, h, err := topology.ParseGrid(*grid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+			return 1
+		}
+		o.Topology.Width, o.Topology.Height = w, h
+		if err := runTaskGraphSweep(kinds, *taskgraphFlag, exTech, *csvOut, o, pool); err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
+			return 1
+		}
+		return 0
+	}
 	if *pattern != "" {
 		w, h, err := topology.ParseGrid(*grid)
 		if err != nil {
@@ -374,6 +406,46 @@ func runFaultSweep(kinds []topology.Kind, spec, variantSpec string, exTech tech.
 		o.Topology.Width, o.Topology.Height, exTech, sc.Rates, sc.Epochs)
 	fmt.Println("(avail = fraction of (src,dst) pairs still connected; CLEAR× = CLEAR vs the healthy point)")
 	fmt.Print(report.FaultTable(results))
+	return nil
+}
+
+// runTaskGraphSweep replays the named closed-loop operator graphs on the
+// selected fabrics: on the lone mesh kind the express hop ladder competes
+// (the Fig. 6 axis, now scored by end-to-end makespan); otherwise one
+// plain fabric per kind. Each cell reports the simulated makespan, the
+// contention-free critical-path bound, and their ratio (stretch) — the
+// congestion-feedback figure of merit.
+func runTaskGraphSweep(kinds []topology.Kind, spec string, exTech tech.Technology,
+	csvOut bool, o core.Options, pool runner.Config) error {
+	gens, err := taskgraph.ParseGenerators(spec)
+	if err != nil {
+		return err
+	}
+	sc := core.DefaultTaskGraphSweep()
+	var results []core.TaskGraphResult
+	if len(kinds) == 1 && kinds[0] == topology.Mesh {
+		var points []core.DesignPoint
+		for _, hops := range patternHopLadder(o.Topology.Width) {
+			ex := exTech
+			if hops == 0 {
+				ex = tech.Electronic
+			}
+			points = append(points, core.DesignPoint{Base: tech.Electronic, Express: ex, Hops: hops})
+		}
+		results, err = core.TaskGraphSweep(context.Background(), points, gens, sc, o, pool)
+	} else {
+		results, err = core.TopologyTaskGraphSweep(context.Background(), kinds, gens, sc, o, pool)
+	}
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		return report.WriteTaskGraphSweep(os.Stdout, results)
+	}
+	fmt.Printf("%d×%d closed-loop task-graph sweep, express = %v, payload %d flits, compute %d clks\n",
+		o.Topology.Width, o.Topology.Height, exTech, sc.Gen.SizeFlits, sc.Gen.ComputeClks)
+	fmt.Println("(bound = contention-free critical path; stretch = makespan/bound, 1.00 = never delayed)")
+	fmt.Print(report.TaskGraphTable(results))
 	return nil
 }
 

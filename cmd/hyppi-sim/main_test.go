@@ -4,12 +4,14 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/taskgraph"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
-// TestUsageListsRegisteredNames: adding a pattern or topology kind to the
-// registries must surface it in -h, not leave the usage text stale.
+// TestUsageListsRegisteredNames: adding a pattern, topology kind or
+// task-graph generator to the registries must surface it in -h, not
+// leave the usage text stale.
 func TestUsageListsRegisteredNames(t *testing.T) {
 	for _, name := range traffic.Names() {
 		if !strings.Contains(patternUsage, name) {
@@ -19,6 +21,11 @@ func TestUsageListsRegisteredNames(t *testing.T) {
 	for _, name := range topology.Names() {
 		if !strings.Contains(topologyUsage, string(name)) {
 			t.Errorf("-topology usage misses registered kind %q: %s", name, topologyUsage)
+		}
+	}
+	for _, name := range taskgraph.Names() {
+		if !strings.Contains(taskgraphUsage, name) {
+			t.Errorf("-taskgraph usage misses registered generator %q: %s", name, taskgraphUsage)
 		}
 	}
 }

@@ -52,6 +52,11 @@ func main() {
 	for i := 0; i < half; i++ {
 		mesh, hybrid := results[i], results[half+i]
 		switch {
+		case mesh.AtFloor || hybrid.AtFloor:
+			// A knee at the sweep floor is a bound, not a measurement:
+			// the ratio would overstate (or understate) the gain.
+			fmt.Printf("  %-10s saturates at or below the sweep floor — gain not measurable in range\n",
+				mesh.Pattern)
 		case mesh.Saturates && hybrid.Saturates:
 			fmt.Printf("  %-10s %.2fx (%.3g → %.3g flits/cycle)\n", mesh.Pattern,
 				hybrid.SaturationRate/mesh.SaturationRate,

@@ -79,6 +79,10 @@ func main() {
 		switch {
 		case !r.Saturates:
 			fmt.Printf("  %-6s never saturates in range\n", k)
+		case r.AtFloor || (mesh.Saturates && mesh.AtFloor):
+			// A floor-bounded knee caps capacity from above only; a ratio
+			// against it would overstate the fabric.
+			fmt.Printf("  %-6s saturates at or below the sweep floor (≤%.3g)\n", k, r.SaturationRate)
 		case mesh.Saturates:
 			fmt.Printf("  %-6s %.2fx (%.3g → %.3g flits/cycle)\n",
 				k, r.SaturationRate/mesh.SaturationRate, mesh.SaturationRate, r.SaturationRate)

@@ -69,6 +69,11 @@ type PatternSweepResult struct {
 	SaturationRate float64
 	// Saturates reports whether the knee lies inside the swept range.
 	Saturates bool
+	// AtFloor marks a cell whose lowest swept rate already saturated:
+	// SaturationRate then only bounds capacity from above (the true knee
+	// lies at or below the sweep floor) and must not be read — or
+	// rendered — as a measured throughput.
+	AtFloor bool
 }
 
 // PointLabel renders the design point for tables. DesignPoint.String
@@ -144,6 +149,7 @@ func PatternSweep(ctx context.Context, points []DesignPoint, patterns []traffic.
 			Curve:          c.Points,
 			SaturationRate: c.SaturationRate,
 			Saturates:      c.Saturates,
+			AtFloor:        c.AtFloor,
 		}, nil
 	})
 }
@@ -195,6 +201,7 @@ func TopologyPatternSweep(ctx context.Context, kinds []topology.Kind, patterns [
 			Curve:          c.Points,
 			SaturationRate: c.SaturationRate,
 			Saturates:      c.Saturates,
+			AtFloor:        c.AtFloor,
 		}, nil
 	})
 }

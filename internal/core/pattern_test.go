@@ -53,9 +53,10 @@ func TestPatternSweepShape(t *testing.T) {
 		if len(r.Curve) != len(sc.Rates) {
 			t.Fatalf("result %d has %d curve points, want %d", i, len(r.Curve), len(sc.Rates))
 		}
-		if rate, ok := noc.DetectSaturation(r.Curve); rate != r.SaturationRate || ok != r.Saturates {
-			t.Errorf("result %d knee (%v,%v) disagrees with DetectSaturation (%v,%v)",
-				i, r.SaturationRate, r.Saturates, rate, ok)
+		rate, atFloor, ok := noc.DetectSaturation(r.Curve)
+		if rate != r.SaturationRate || atFloor != r.AtFloor || ok != r.Saturates {
+			t.Errorf("result %d knee (%v,%v,%v) disagrees with DetectSaturation (%v,%v,%v)",
+				i, r.SaturationRate, r.AtFloor, r.Saturates, rate, atFloor, ok)
 		}
 		if r.ZeroLoadLatencyClks() <= 0 && !r.Curve[0].Saturated {
 			t.Errorf("result %d zero-load latency %v", i, r.ZeroLoadLatencyClks())

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// TaskGraphSweepConfig parameterizes a closed-loop task-graph sweep.
+type TaskGraphSweepConfig struct {
+	// Gen shapes the generated operator graphs (payload, compute,
+	// microbatches).
+	Gen taskgraph.GenConfig
+	// NoC configures the cycle-accurate simulator.
+	NoC noc.Config
+}
+
+// DefaultTaskGraphSweep runs the registry's operators at the default
+// payload/compute on the Table II router. Closed-loop runs always drain on
+// a valid DAG; the cycle cap only backstops runaway congestion.
+func DefaultTaskGraphSweep() TaskGraphSweepConfig {
+	cfg := noc.DefaultConfig()
+	cfg.MaxCycles = 5_000_000
+	return TaskGraphSweepConfig{Gen: taskgraph.DefaultGenConfig(), NoC: cfg}
+}
+
+// Validate checks the sweep parameters.
+func (c TaskGraphSweepConfig) Validate() error {
+	if err := c.Gen.Validate(); err != nil {
+		return err
+	}
+	return c.NoC.Validate()
+}
+
+// TaskGraphResult is one (topology kind, design point, graph) cell of a
+// closed-loop sweep: the end-to-end makespan against its contention-free
+// lower bound, plus the per-message network latency distribution.
+type TaskGraphResult struct {
+	// Kind is the topology family the cell ran on.
+	Kind  topology.Kind
+	Point DesignPoint
+	// Graph is the generator name; Messages and TotalFlits its size.
+	Graph      string
+	Messages   int
+	TotalFlits int64
+	// MakespanClks is the cycle the last tail flit ejected — the
+	// workload's end-to-end completion time under congestion feedback.
+	MakespanClks int64
+	// LowerBoundClks folds zero-load message latencies over the DAG's
+	// critical path (taskgraph.CriticalPathClks): the makespan of an ideal
+	// contention-free network. The simulated makespan can only meet it
+	// (uncongested schedules) or exceed it (congestion stretching the
+	// schedule).
+	LowerBoundClks int64
+	// Stretch is MakespanClks/LowerBoundClks ≥ 1 — the congestion-feedback
+	// figure of merit (1.0 = the network never delayed the schedule).
+	Stretch float64
+	// AvgLatencyClks and P99LatencyClks summarize per-message network
+	// latency (release→tail-ejection, compute excluded).
+	AvgLatencyClks float64
+	P99LatencyClks float64
+	// Cycles is the simulated horizon (= MakespanClks at drain).
+	Cycles int64
+}
+
+// PointLabel renders the design point for tables, kind-aware exactly like
+// PatternSweepResult.PointLabel.
+func (r TaskGraphResult) PointLabel() string {
+	return PatternSweepResult{Kind: r.Kind, Point: r.Point}.PointLabel()
+}
+
+// TaskGraphSweep runs the design-point × graph closed-loop matrix on the
+// worker pool: each (point, graph) job replays the generated message DAG
+// through noc.InjectClosedLoop on a pooled simulator and scores the
+// resulting makespan against the contention-free critical path. Graphs are
+// generated once up front (generators are pure, so this is only an
+// optimization) and shared read-only; results come back point-major,
+// graph-minor and are bit-identical for any worker count — the standard
+// determinism contract. The first failure cancels the batch.
+func TaskGraphSweep(ctx context.Context, points []DesignPoint, gens []taskgraph.Generator,
+	sc TaskGraphSweepConfig, o Options, pool runner.Config) ([]TaskGraphResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("core: task-graph sweep with no graphs")
+	}
+	nets := make([]*topology.Network, len(points))
+	tabs := make([]*routing.Table, len(points))
+	for i, point := range points {
+		net, tab, err := o.NetworkAndTable(point)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", point, err)
+		}
+		nets[i], tabs[i] = net, tab
+	}
+	graphs, err := generateGraphs(gens, o.Topology.Width*o.Topology.Height, sc.Gen)
+	if err != nil {
+		return nil, err
+	}
+	sims := noc.NewSimPool()
+	n := len(points) * len(graphs)
+	return runner.Map(ctx, n, pool, func(ctx context.Context, i int) (TaskGraphResult, error) {
+		pi, g := i/len(graphs), graphs[i%len(graphs)]
+		point, net, tab := points[pi], nets[pi], tabs[pi]
+		res, err := runTaskGraph(g, net, tab, sc.NoC, sims)
+		if err != nil {
+			return TaskGraphResult{}, fmt.Errorf("core: %v / %s: %w", point, g.Name, err)
+		}
+		res.Kind = o.Topology.Canonical().Kind
+		res.Point = point
+		return res, nil
+	})
+}
+
+// TopologyTaskGraphSweep runs the kind × graph closed-loop matrix: every
+// selected topology family at the Options' grid with the plain base
+// technology, replaying each generated DAG exactly like TaskGraphSweep.
+// Results come back kind-major, graph-minor, bit-identical for any worker
+// count. Express hybrids stay a mesh-family axis: sweep them per kind
+// through TaskGraphSweep.
+func TopologyTaskGraphSweep(ctx context.Context, kinds []topology.Kind, gens []taskgraph.Generator,
+	sc TaskGraphSweepConfig, o Options, pool runner.Config) ([]TaskGraphResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("core: task-graph sweep with no kinds")
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("core: task-graph sweep with no graphs")
+	}
+	plain := DesignPoint{Base: o.Topology.BaseTech, Express: o.Topology.BaseTech, Hops: 0}
+	nets := make([]*topology.Network, len(kinds))
+	tabs := make([]*routing.Table, len(kinds))
+	for i, kind := range kinds {
+		net, tab, err := o.WithKind(kind).NetworkAndTable(plain)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", kind, err)
+		}
+		nets[i], tabs[i] = net, tab
+	}
+	graphs, err := generateGraphs(gens, o.Topology.Width*o.Topology.Height, sc.Gen)
+	if err != nil {
+		return nil, err
+	}
+	sims := noc.NewSimPool()
+	n := len(kinds) * len(graphs)
+	return runner.Map(ctx, n, pool, func(ctx context.Context, i int) (TaskGraphResult, error) {
+		ki, g := i/len(graphs), graphs[i%len(graphs)]
+		kind, net, tab := kinds[ki], nets[ki], tabs[ki]
+		res, err := runTaskGraph(g, net, tab, sc.NoC, sims)
+		if err != nil {
+			return TaskGraphResult{}, fmt.Errorf("core: %v / %s: %w", kind, g.Name, err)
+		}
+		res.Kind = net.Config.Kind // canonical (Build resolved it)
+		res.Point = plain
+		return res, nil
+	})
+}
+
+// generateGraphs builds and validates one graph per generator for a node
+// count.
+func generateGraphs(gens []taskgraph.Generator, numNodes int, cfg taskgraph.GenConfig) ([]*taskgraph.Graph, error) {
+	graphs := make([]*taskgraph.Graph, len(gens))
+	for i, gen := range gens {
+		g, err := gen.Generate(numNodes, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph %s: %w", gen.Name(), err)
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("core: graph %s: %w", gen.Name(), err)
+		}
+		graphs[i] = g
+	}
+	return graphs, nil
+}
+
+// runTaskGraph replays one DAG through a pooled closed-loop simulation and
+// scores it against the contention-free critical path.
+func runTaskGraph(g *taskgraph.Graph, net *topology.Network, tab *routing.Table,
+	cfg noc.Config, sims *noc.SimPool) (TaskGraphResult, error) {
+	pkts := make([]noc.Packet, len(g.Messages))
+	deps := make([][]int, len(g.Messages))
+	for i, m := range g.Messages {
+		pkts[i] = noc.Packet{Src: m.Src, Dst: m.Dst, SizeFlits: m.SizeFlits, Release: m.ComputeClks}
+		deps[i] = m.Deps
+	}
+	s, err := sims.Get(net, tab, cfg)
+	if err != nil {
+		return TaskGraphResult{}, err
+	}
+	if err := s.InjectClosedLoop(pkts, deps); err != nil {
+		return TaskGraphResult{}, err
+	}
+	st, err := s.Run()
+	sims.Put(s)
+	if err != nil {
+		return TaskGraphResult{}, err
+	}
+	// The bound folds the simulator's exact zero-load message latency
+	// (pinned by TestZeroLoadLatencyMatchesAnalytic) over the DAG: an
+	// uncongested serial schedule meets it exactly.
+	lb, err := g.CriticalPathClks(func(m taskgraph.Message) int64 {
+		return int64(tab.LatencyClks(m.Src, m.Dst, cfg.PipelineClks) + m.SizeFlits - 1)
+	})
+	if err != nil {
+		return TaskGraphResult{}, err
+	}
+	res := TaskGraphResult{
+		Graph:          g.Name,
+		Messages:       len(g.Messages),
+		TotalFlits:     g.TotalFlits(),
+		MakespanClks:   st.MakespanClks,
+		LowerBoundClks: lb,
+		AvgLatencyClks: st.AvgPacketLatencyClks,
+		P99LatencyClks: st.P99PacketLatencyClks,
+		Cycles:         st.Cycles,
+	}
+	if lb > 0 {
+		res.Stretch = float64(res.MakespanClks) / float64(lb)
+	}
+	return res, nil
+}

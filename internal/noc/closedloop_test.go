@@ -1,0 +1,222 @@
+package noc
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestClosedLoopZeroDepsMatchesOpenLoop: a dependency-free batch through
+// InjectClosedLoop must be bit-identical to the same packets through
+// InjectAll — the closed-loop machinery (stale-wake filter, stall guard,
+// completion hooks) must be invisible when no packet has predecessors.
+func TestClosedLoopZeroDepsMatchesOpenLoop(t *testing.T) {
+	net, tab := smallMesh(t, 8, 8, 3)
+	rng := rand.New(rand.NewSource(11))
+	var pkts []Packet
+	for i := 0; i < 400; i++ {
+		src := topology.NodeID(rng.Intn(net.NumNodes()))
+		dst := topology.NodeID(rng.Intn(net.NumNodes()))
+		size := 1 + rng.Intn(8)
+		pkts = append(pkts, Packet{Src: src, Dst: dst, SizeFlits: size, Release: int64(rng.Intn(200))})
+	}
+
+	open := newSim(t, net, tab)
+	if err := open.InjectAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	so, err := open.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := newSim(t, net, tab)
+	if err := closed.InjectClosedLoop(pkts, make([][]int, len(pkts))); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := closed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(so, sc) {
+		t.Errorf("closed-loop zero-dep stats diverge from open loop:\nopen:   %+v\nclosed: %+v", so, sc)
+	}
+	if sc.MakespanClks <= 0 {
+		t.Errorf("MakespanClks = %d, want > 0", sc.MakespanClks)
+	}
+}
+
+// TestClosedLoopChainSerializes: a three-message chain A→B→C on disjoint
+// node pairs must complete strictly in order, each link adding its zero-load
+// latency plus the compute offset — the release of a dependent packet is
+// its predecessor's tail ejection plus the offset, nothing earlier.
+func TestClosedLoopChainSerializes(t *testing.T) {
+	net, tab := smallMesh(t, 8, 8, 0)
+	const size = 4
+	const compute = 10
+	chain := []Packet{
+		{Src: net.Node(0, 0), Dst: net.Node(3, 0), SizeFlits: size, Release: 0},
+		{Src: net.Node(3, 0), Dst: net.Node(6, 0), SizeFlits: size, Release: compute},
+		{Src: net.Node(6, 0), Dst: net.Node(6, 3), SizeFlits: size, Release: compute},
+	}
+	deps := [][]int{nil, {0}, {1}}
+	s := newSim(t, net, tab)
+	if err := s.InjectClosedLoop(chain, deps); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(p Packet) int64 {
+		return int64(tab.LatencyClks(p.Src, p.Dst, DefaultConfig().PipelineClks) + p.SizeFlits - 1)
+	}
+	want := lat(chain[0]) + compute + lat(chain[1]) + compute + lat(chain[2])
+	if st.MakespanClks != want {
+		t.Errorf("chain makespan %d, want %d (zero-load serial sum)", st.MakespanClks, want)
+	}
+	if st.PacketsEjected != 3 {
+		t.Errorf("ejected %d packets, want 3", st.PacketsEjected)
+	}
+	// Each packet's network latency must exclude the compute offsets.
+	if got, want := st.MaxPacketLatencyClks, max(lat(chain[0]), lat(chain[1]), lat(chain[2])); got != want {
+		t.Errorf("max latency %d, want %d (pure network latency)", got, want)
+	}
+}
+
+// TestClosedLoopCycleStalls: a dependency cycle that bypasses
+// taskgraph.Validate must surface as a named stall error from Run, not a
+// spin to MaxCycles.
+func TestClosedLoopCycleStalls(t *testing.T) {
+	net, tab := smallMesh(t, 4, 4, 0)
+	pkts := []Packet{
+		{Src: net.Node(0, 0), Dst: net.Node(1, 0), SizeFlits: 1},
+		{Src: net.Node(1, 0), Dst: net.Node(2, 0), SizeFlits: 1},
+	}
+	s := newSim(t, net, tab)
+	if err := s.InjectClosedLoop(pkts, [][]int{{1}, {0}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "closed-loop stall") {
+		t.Fatalf("Run on cyclic deps = %v, want closed-loop stall error", err)
+	}
+}
+
+// TestClosedLoopValidation: malformed batches are rejected up front, and
+// injection modes cannot be mixed within one run.
+func TestClosedLoopValidation(t *testing.T) {
+	net, tab := smallMesh(t, 4, 4, 0)
+	ok := Packet{Src: 0, Dst: 1, SizeFlits: 1}
+	cases := []struct {
+		name string
+		ps   []Packet
+		deps [][]int
+	}{
+		{"dep count mismatch", []Packet{ok}, nil},
+		{"dep out of range", []Packet{ok}, [][]int{{3}}},
+		{"self dependency", []Packet{ok}, [][]int{{0}}},
+		{"bad size", []Packet{{Src: 0, Dst: 1, SizeFlits: 0}}, [][]int{nil}},
+		{"bad endpoint", []Packet{{Src: 0, Dst: 99, SizeFlits: 1}}, [][]int{nil}},
+		{"negative offset", []Packet{{Src: 0, Dst: 1, SizeFlits: 1, Release: -1}}, [][]int{nil}},
+	}
+	for _, c := range cases {
+		s := newSim(t, net, tab)
+		if err := s.InjectClosedLoop(c.ps, c.deps); err == nil {
+			t.Errorf("%s: InjectClosedLoop accepted a malformed batch", c.name)
+		}
+	}
+
+	s := newSim(t, net, tab)
+	if err := s.InjectClosedLoop([]Packet{ok}, [][]int{nil}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(ok); err == nil {
+		t.Error("Inject after InjectClosedLoop accepted")
+	}
+	if err := s.InjectClosedLoop([]Packet{ok}, [][]int{nil}); err == nil {
+		t.Error("second InjectClosedLoop accepted")
+	}
+}
+
+// TestClosedLoopResetReuse: a Reset simulator re-running the same DAG must
+// reproduce the first run bit-identically, and an open-loop run after a
+// closed-loop one must carry no dependency state over.
+func TestClosedLoopResetReuse(t *testing.T) {
+	net, tab := smallMesh(t, 8, 8, 3)
+	pkts := []Packet{
+		{Src: net.Node(0, 0), Dst: net.Node(7, 7), SizeFlits: 8, Release: 0},
+		{Src: net.Node(7, 7), Dst: net.Node(0, 7), SizeFlits: 8, Release: 5},
+		{Src: net.Node(0, 7), Dst: net.Node(7, 0), SizeFlits: 8, Release: 5},
+	}
+	deps := [][]int{nil, {0}, {1}}
+
+	s := newSim(t, net, tab)
+	if err := s.InjectClosedLoop(pkts, deps); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Reset()
+	if err := s.InjectClosedLoop(pkts, deps); err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("closed-loop rerun after Reset diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+
+	s.Reset()
+	if err := s.Inject(pkts[0]); err != nil {
+		t.Fatalf("open-loop Inject after closed-loop Reset: %v", err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedLoopFanInCongestion: many concurrent senders converging on one
+// destination serialize at its ejection port, so the fan-in's makespan must
+// exceed the slowest sender's isolated zero-load finish — congestion is
+// feeding back into the completion times a closed-loop schedule observes.
+func TestClosedLoopFanInCongestion(t *testing.T) {
+	net, tab := smallMesh(t, 8, 8, 0)
+	root := net.Node(0, 0)
+	var pkts []Packet
+	const size = 16
+	for id := 1; id < net.NumNodes(); id++ {
+		pkts = append(pkts, Packet{Src: topology.NodeID(id), Dst: root, SizeFlits: size})
+	}
+	s := newSim(t, net, tab)
+	if err := s.InjectClosedLoop(pkts, make([][]int, len(pkts))); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worstAlone int64
+	for _, p := range pkts {
+		if l := int64(tab.LatencyClks(p.Src, p.Dst, DefaultConfig().PipelineClks) + size - 1); l > worstAlone {
+			worstAlone = l
+		}
+	}
+	// 63 packets × 16 flits through one ejection port cannot beat the
+	// serialization bound, which is far beyond any single zero-load path.
+	if st.MakespanClks <= worstAlone {
+		t.Errorf("fan-in makespan %d ≤ isolated worst path %d: no congestion feedback visible",
+			st.MakespanClks, worstAlone)
+	}
+	if serial := int64(len(pkts) * size); st.MakespanClks < serial {
+		t.Errorf("fan-in makespan %d below the %d-flit ejection serialization bound", st.MakespanClks, serial)
+	}
+}

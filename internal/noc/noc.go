@@ -112,10 +112,17 @@ type Stats struct {
 	// FlitsInjected and FlitsEjected count flits.
 	FlitsInjected, FlitsEjected int64
 	// AvgPacketLatencyClks averages (tail ejection − release) over
-	// packets, BookSim's packet latency.
+	// packets, BookSim's packet latency. For closed-loop packets the
+	// release is the actual post-dependency release, so this stays a pure
+	// network latency with compute time excluded.
 	AvgPacketLatencyClks float64
 	// MaxPacketLatencyClks is the worst packet latency.
 	MaxPacketLatencyClks int64
+	// MakespanClks is the cycle at which the last tail flit ejected — the
+	// end-to-end completion time of the workload (0 for an empty run).
+	// Under closed-loop injection (InjectClosedLoop) this is the task
+	// graph's makespan; dropped packets count, their tails eject too.
+	MakespanClks int64
 	// AvgHopCount averages channel traversals per packet.
 	AvgHopCount float64
 	// P50, P95 and P99 are packet latency percentiles in clocks.
@@ -423,6 +430,14 @@ type Sim struct {
 	srcMask []uint64
 	liveSrc int
 
+	// Closed-loop dependency state (see InjectClosedLoop; all empty for
+	// open-loop runs). succOff/succList are the CSR successor lists of the
+	// dependency DAG; pending[i] counts packet i's unejected predecessors.
+	closedLoop bool
+	succOff    []int32
+	succList   []int32
+	pending    []int32
+
 	now       int64
 	ran       bool
 	stats     Stats
@@ -677,6 +692,10 @@ func (s *Sim) Reset() {
 	s.relHeap = s.relHeap[:0]
 	clear(s.srcMask)
 	s.liveSrc = 0
+	s.closedLoop = false
+	s.succOff = nil
+	s.succList = nil
+	s.pending = nil
 	s.now = 0
 	s.ran = false
 	s.stats = Stats{
@@ -697,6 +716,9 @@ func (s *Sim) Reset() {
 
 // Inject queues a packet for injection. Must be called before Run.
 func (s *Sim) Inject(p Packet) error {
+	if s.closedLoop {
+		return fmt.Errorf("noc: Inject after InjectClosedLoop (one closed-loop batch per run)")
+	}
 	if p.SizeFlits <= 0 {
 		return fmt.Errorf("noc: packet size %d", p.SizeFlits)
 	}
@@ -768,6 +790,17 @@ func (s *Sim) Run() (Stats, error) {
 		if s.routeErr != nil {
 			s.stats.Cycles = s.now
 			return s.stats, s.routeErr
+		}
+		// Closed-loop deadlock guard: with nothing buffered, in flight or
+		// parked, no remaining packet can ever become releasable — every
+		// one waits on a dependency that will never complete. Possible
+		// only on a cyclic dependency graph (taskgraph.Validate rejects
+		// those up front); surface it as a named error instead of spinning
+		// to MaxCycles.
+		if s.closedLoop && s.totalBuf == 0 && s.liveSrc == 0 &&
+			s.inflight == 0 && len(s.relHeap) == 0 {
+			s.stats.Cycles = s.now
+			return s.stats, fmt.Errorf("noc: closed-loop stall with %d packets blocked on dependencies that cannot complete (cyclic graph?)", remaining)
 		}
 		// Leap over provably idle cycles. With nothing buffered and no
 		// live source, every router stage and the injection scan are
@@ -871,10 +904,19 @@ func (s *Sim) injectFromSources() {
 		e := s.heapPop()
 		w := int(e.node) >> 6
 		bit := uint64(1) << (uint(e.node) & 63)
-		if s.srcMask[w]&bit == 0 {
-			s.srcMask[w] |= bit
-			s.liveSrc++
+		if s.srcMask[w]&bit != 0 {
+			continue // already live: a duplicate closed-loop wake
 		}
+		// Closed-loop dependency completions reshape source queues after
+		// wake entries were pushed, so an entry can be stale: the node's
+		// head packet may be a later one (re-park at its release) or the
+		// queue exhausted (drop the wake). Open-loop queues are immutable
+		// after Run starts, so this filter never fires there.
+		if s.closedLoop && !s.sourceDue(int(e.node)) {
+			continue
+		}
+		s.srcMask[w] |= bit
+		s.liveSrc++
 	}
 	if s.liveSrc == 0 {
 		return
@@ -1175,6 +1217,12 @@ func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 		p.flitsEjected++
 		if e.f.tail {
 			p.done = true
+			if t := s.now + 1; t > s.stats.MakespanClks {
+				s.stats.MakespanClks = t
+			}
+			if s.closedLoop {
+				s.completeSuccessors(e.f.pkt)
+			}
 			if p.dropped {
 				// Retransmission budget exhausted mid-route: the packet
 				// arrived corrupt and is discarded here, reported

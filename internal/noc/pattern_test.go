@@ -13,41 +13,51 @@ import (
 
 func TestDetectSaturation(t *testing.T) {
 	cases := []struct {
-		name   string
-		points []LoadPoint
-		rate   float64
-		ok     bool
+		name    string
+		points  []LoadPoint
+		rate    float64
+		atFloor bool
+		ok      bool
 	}{
-		{"empty", nil, 0, false},
-		// A curve saturated from its lowest rate reports that rate: the
-		// knee lies at or below the sweep floor, not "never".
+		{"empty", nil, 0, false, false},
+		// A curve saturated from its lowest rate reports that rate WITH
+		// the at-floor marker: the knee lies at or below the sweep floor,
+		// so the rate is an upper bound, not a measured capacity.
 		{"baseline saturated",
-			[]LoadPoint{{InjectionRate: 0.1, Saturated: true}}, 0.1, true},
+			[]LoadPoint{{InjectionRate: 0.1, Saturated: true}}, 0.1, true, true},
 		{"flat curve never saturates", []LoadPoint{
 			{InjectionRate: 0.1, AvgLatencyClks: 20},
 			{InjectionRate: 0.2, AvgLatencyClks: 22},
 			{InjectionRate: 0.3, AvgLatencyClks: 25},
-		}, 0, false},
+		}, 0, false, false},
+		// An interior knee is a measurement, not a floor artifact.
 		{"latency knee at 3x zero-load", []LoadPoint{
 			{InjectionRate: 0.1, AvgLatencyClks: 20},
 			{InjectionRate: 0.2, AvgLatencyClks: 45},
 			{InjectionRate: 0.3, AvgLatencyClks: 61}, // > 3×20
 			{InjectionRate: 0.4, AvgLatencyClks: 300},
-		}, 0.3, true},
+		}, 0.3, false, true},
 		{"no-drain point saturates", []LoadPoint{
 			{InjectionRate: 0.1, AvgLatencyClks: 20},
 			{InjectionRate: 0.2, Saturated: true},
-		}, 0.2, true},
+		}, 0.2, false, true},
 		{"exactly 3x is not past the knee", []LoadPoint{
 			{InjectionRate: 0.1, AvgLatencyClks: 20},
 			{InjectionRate: 0.2, AvgLatencyClks: 60},
-		}, 0, false},
+		}, 0, false, false},
+		// A second point failing to drain right above a drained floor is
+		// interior: the floor itself was measured fine.
+		{"knee right above the floor is interior", []LoadPoint{
+			{InjectionRate: 0.05, AvgLatencyClks: 20},
+			{InjectionRate: 0.06, Saturated: true},
+			{InjectionRate: 0.2, Saturated: true},
+		}, 0.06, false, true},
 	}
 	for _, c := range cases {
-		rate, ok := DetectSaturation(c.points)
-		if rate != c.rate || ok != c.ok {
-			t.Errorf("%s: DetectSaturation = (%v, %v), want (%v, %v)",
-				c.name, rate, ok, c.rate, c.ok)
+		rate, atFloor, ok := DetectSaturation(c.points)
+		if rate != c.rate || atFloor != c.atFloor || ok != c.ok {
+			t.Errorf("%s: DetectSaturation = (%v, %v, %v), want (%v, %v, %v)",
+				c.name, rate, atFloor, ok, c.rate, c.atFloor, c.ok)
 		}
 	}
 }
@@ -91,10 +101,10 @@ func TestPatternLoadLatencyCurves(t *testing.T) {
 		}
 		// The detected knee must agree with a direct application of the
 		// rule to the returned points.
-		rate, ok := DetectSaturation(c.Points)
-		if rate != c.SaturationRate || ok != c.Saturates {
-			t.Errorf("curve %s knee (%v,%v) disagrees with DetectSaturation (%v,%v)",
-				c.Pattern, c.SaturationRate, c.Saturates, rate, ok)
+		rate, atFloor, ok := DetectSaturation(c.Points)
+		if rate != c.SaturationRate || atFloor != c.AtFloor || ok != c.Saturates {
+			t.Errorf("curve %s knee (%v,%v,%v) disagrees with DetectSaturation (%v,%v,%v)",
+				c.Pattern, c.SaturationRate, c.AtFloor, c.Saturates, rate, atFloor, ok)
 		}
 	}
 }

@@ -178,24 +178,29 @@ const SaturationLatencyFactor = 3.0
 
 // DetectSaturation applies the latency-knee rule to a load-latency curve
 // sampled at ascending rates. It returns the offered injection rate of
-// the first saturated point; a curve whose lowest rate already fails to
-// drain reports that rate (the true knee lies at or below the sweep
-// floor). ok is false only when the curve is empty or never saturates
-// within the swept range (the returned rate is then zero).
-func DetectSaturation(points []LoadPoint) (rate float64, ok bool) {
+// the first saturated point. A curve whose lowest rate already fails to
+// drain reports that rate with atFloor set: the true knee lies at or
+// below the sweep floor, so the returned rate is an upper bound on
+// capacity, not a measurement — consumers must render it "≤ rate", never
+// as a measured throughput. An interior knee (the rule firing past the
+// first point, including a first point whose latency merely trips the
+// knee on a later comparison) reports atFloor false. ok is false only
+// when the curve is empty or never saturates within the swept range (the
+// returned rate is then zero and atFloor is false).
+func DetectSaturation(points []LoadPoint) (rate float64, atFloor, ok bool) {
 	if len(points) == 0 {
-		return 0, false
+		return 0, false, false
 	}
 	if points[0].Saturated {
-		return points[0].InjectionRate, true
+		return points[0].InjectionRate, true, true
 	}
 	base := points[0].AvgLatencyClks
 	for _, p := range points[1:] {
 		if p.Saturated || p.AvgLatencyClks > SaturationLatencyFactor*base {
-			return p.InjectionRate, true
+			return p.InjectionRate, false, true
 		}
 	}
-	return 0, false
+	return 0, false, false
 }
 
 // PatternCurve is the load-latency curve of one named traffic pattern,
@@ -210,6 +215,11 @@ type PatternCurve struct {
 	SaturationRate float64
 	// Saturates reports whether the knee lies inside the swept range.
 	Saturates bool
+	// AtFloor marks a curve whose lowest swept rate already failed to
+	// drain: SaturationRate is then only an upper bound on capacity
+	// (the true knee lies at or below the sweep floor), not a measured
+	// throughput. See DetectSaturation.
+	AtFloor bool
 }
 
 // PatternLoadLatencyCurves sweeps the full pattern×load matrix on one
@@ -253,7 +263,7 @@ func PatternLoadLatencyCurves(ctx context.Context, net *topology.Network, tab *r
 	out := make([]PatternCurve, len(patterns))
 	for pi, p := range patterns {
 		c := PatternCurve{Pattern: p.Name(), Points: flat[pi*len(rates) : (pi+1)*len(rates)]}
-		c.SaturationRate, c.Saturates = DetectSaturation(c.Points)
+		c.SaturationRate, c.AtFloor, c.Saturates = DetectSaturation(c.Points)
 		out[pi] = c
 	}
 	return out, nil

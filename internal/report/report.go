@@ -115,7 +115,7 @@ func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
 	if err := cw.Write([]string{
 		"topology", "base", "express", "hops", "pattern",
 		"injection_rate", "avg_latency_clks", "p99_latency_clks", "point_saturated",
-		"saturation_rate", "saturates",
+		"saturation_rate", "saturates", "at_floor",
 	}); err != nil {
 		return err
 	}
@@ -127,6 +127,7 @@ func WritePatternSweep(w io.Writer, results []core.PatternSweepResult) error {
 				f(p.InjectionRate), f(p.AvgLatencyClks), f(p.P99LatencyClks),
 				strconv.FormatBool(p.Saturated),
 				f(r.SaturationRate), strconv.FormatBool(r.Saturates),
+				strconv.FormatBool(r.AtFloor),
 			}); err != nil {
 				return err
 			}
@@ -148,9 +149,10 @@ func sweepKind(k topology.Kind) string {
 // SaturationTable renders the per-pattern saturation summary as an
 // aligned text table: one row per (topology kind, design point, pattern)
 // with the zero-load latency and the latency-knee saturation throughput
-// ("-" when the design never saturates within the swept range). The
-// numeric columns are right-aligned so magnitudes stay comparable next to
-// design-point labels of any length.
+// ("-" when the design never saturates within the swept range; "≤rate"
+// when the sweep floor itself saturated, so the knee was bounded, not
+// measured). The numeric columns are right-aligned so magnitudes stay
+// comparable next to design-point labels of any length.
 func SaturationTable(results []core.PatternSweepResult) string {
 	tbl := stats.NewTable("topology", "design point", "pattern", "zero-load (clk)", "saturation (flits/clk)").
 		AlignRight(3, 4)
@@ -158,6 +160,9 @@ func SaturationTable(results []core.PatternSweepResult) string {
 		sat := "-"
 		if r.Saturates {
 			sat = strconv.FormatFloat(r.SaturationRate, 'g', 4, 64)
+			if r.AtFloor {
+				sat = "≤" + sat
+			}
 		}
 		tbl.AddRow(sweepKind(r.Kind), r.PointLabel(), r.Pattern,
 			strconv.FormatFloat(r.ZeroLoadLatencyClks(), 'f', 1, 64), sat)
@@ -368,6 +373,54 @@ func FaultTable(results []core.FaultSweepResult) string {
 				strconv.FormatFloat(p.FJPerBit, 'f', 0, 64),
 				strconv.FormatFloat(p.CLEARDegradation, 'f', 3, 64))
 		}
+	}
+	return tbl.String()
+}
+
+// WriteTaskGraphSweep emits the closed-loop task-graph dataset: one row
+// per (topology kind, design point, graph) cell with the end-to-end
+// makespan, its contention-free lower bound and the stretch between them.
+func WriteTaskGraphSweep(w io.Writer, results []core.TaskGraphResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"topology", "base", "express", "hops", "graph",
+		"messages", "total_flits", "makespan_clks", "lower_bound_clks",
+		"stretch", "avg_latency_clks", "p99_latency_clks", "cycles",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{
+			sweepKind(r.Kind), r.Point.Base.String(), r.Point.Express.String(), strconv.Itoa(r.Point.Hops),
+			r.Graph,
+			strconv.Itoa(r.Messages), strconv.FormatInt(r.TotalFlits, 10),
+			strconv.FormatInt(r.MakespanClks, 10), strconv.FormatInt(r.LowerBoundClks, 10),
+			f(r.Stretch), f(r.AvgLatencyClks), f(r.P99LatencyClks),
+			strconv.FormatInt(r.Cycles, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TaskGraphTable renders the closed-loop makespan matrix as an aligned
+// text table: one row per (topology kind, design point, graph) with the
+// makespan against its contention-free bound — stretch 1.00 means the
+// network never delayed the schedule.
+func TaskGraphTable(results []core.TaskGraphResult) string {
+	tbl := stats.NewTable("topology", "design point", "graph", "msgs",
+		"makespan (clk)", "bound (clk)", "stretch", "avg lat", "p99 lat").
+		AlignRight(3, 4, 5, 6, 7, 8)
+	for _, r := range results {
+		tbl.AddRow(sweepKind(r.Kind), r.PointLabel(), r.Graph,
+			strconv.Itoa(r.Messages),
+			strconv.FormatInt(r.MakespanClks, 10),
+			strconv.FormatInt(r.LowerBoundClks, 10),
+			strconv.FormatFloat(r.Stretch, 'f', 2, 64),
+			strconv.FormatFloat(r.AvgLatencyClks, 'f', 1, 64),
+			strconv.FormatFloat(r.P99LatencyClks, 'f', 1, 64))
 	}
 	return tbl.String()
 }

@@ -125,6 +125,10 @@ func patternSweepResults() []core.PatternSweepResult {
 	return []core.PatternSweepResult{
 		{Point: mesh, Pattern: "tornado", Curve: curve, SaturationRate: 0.2, Saturates: true},
 		{Kind: topology.Torus, Point: hybrid, Pattern: "tornado", Curve: curve[:1]},
+		// The sweep floor itself saturated: the knee is an upper bound.
+		{Point: mesh, Pattern: "hotspot",
+			Curve:          []noc.LoadPoint{{InjectionRate: 0.05, Saturated: true}},
+			SaturationRate: 0.05, Saturates: true, AtFloor: true},
 	}
 }
 
@@ -138,11 +142,21 @@ func TestWritePatternSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows != 3 { // 2 curve points + 1
-		t.Errorf("CSV rows %d, want 3", rows)
+	if rows != 4 { // 2 curve points + 1 + 1
+		t.Errorf("CSV rows %d, want 4", rows)
 	}
 	if !strings.HasPrefix(buf.String(), "topology,base,express,hops,pattern,injection_rate,") {
 		t.Errorf("header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasSuffix(header, ",saturation_rate,saturates,at_floor") {
+		t.Errorf("knee columns missing from header: %q", header)
+	}
+	if !strings.Contains(buf.String(), ",0.05,true,true") {
+		t.Errorf("at-floor row not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), ",0.2,true,false") {
+		t.Errorf("interior knee wrongly flagged at-floor:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "tornado") {
 		t.Error("pattern name missing from rows")
@@ -161,11 +175,18 @@ func TestSaturationTable(t *testing.T) {
 	if !strings.Contains(out, "mesh") || !strings.Contains(out, "torus") {
 		t.Errorf("table missing topology kinds:\n%s", out)
 	}
-	// The never-saturating row renders a dash, not a zero.
-	lines := strings.Split(strings.TrimSpace(out), "\n")
-	last := lines[len(lines)-1]
-	if !strings.Contains(last, "-") {
-		t.Errorf("unsaturated row should show '-': %q", last)
+	// The never-saturating row renders a dash, not a zero, and the
+	// at-floor row renders a bound ("≤rate"), not a measured capacity.
+	if !strings.Contains(out, "≤0.05") {
+		t.Errorf("at-floor knee should render as a bound:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		switch {
+		case strings.Contains(line, "torus") && !strings.HasSuffix(line, "-"):
+			t.Errorf("unsaturated row should end with '-': %q", line)
+		case strings.Contains(line, "tornado") && strings.Contains(line, "≤"):
+			t.Errorf("interior knee must not render as a bound: %q", line)
+		}
 	}
 }
 
@@ -336,6 +357,62 @@ func TestFaultTable(t *testing.T) {
 	for _, want := range []string{"avail", "CLEAR×", "0.8750", "modetector", "uniform"} {
 		if !strings.Contains(tbl, want) {
 			t.Errorf("fault table missing %q:\n%s", want, tbl)
+		}
+	}
+	for i, l := range strings.Split(tbl, "\n") {
+		if l != strings.TrimRight(l, " ") {
+			t.Errorf("line %d has trailing padding: %q", i, l)
+		}
+	}
+}
+
+// taskGraphResults fabricates a two-cell closed-loop sweep: one schedule
+// the network never delayed (stretch 1) and one congested cell.
+func taskGraphResults() []core.TaskGraphResult {
+	mesh := core.DesignPoint{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}
+	hybrid := core.DesignPoint{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}
+	return []core.TaskGraphResult{
+		{Point: mesh, Graph: "moe-alltoall", Messages: 8064, TotalFlits: 16128,
+			MakespanClks: 428, LowerBoundClks: 142, Stretch: 3.014,
+			AvgLatencyClks: 31.5, P99LatencyClks: 88, Cycles: 428},
+		{Kind: topology.Torus, Point: hybrid, Graph: "pipeline", Messages: 63, TotalFlits: 2016,
+			MakespanClks: 632, LowerBoundClks: 632, Stretch: 1,
+			AvgLatencyClks: 12.1, P99LatencyClks: 14, Cycles: 632},
+	}
+}
+
+func TestWriteTaskGraphSweep(t *testing.T) {
+	results := taskGraphResults()
+	var buf bytes.Buffer
+	if err := WriteTaskGraphSweep(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Check(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 {
+		t.Errorf("CSV rows %d, want 2", rows)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "topology,base,express,hops,graph,messages,total_flits,makespan_clks,lower_bound_clks,") {
+		t.Errorf("header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "moe-alltoall") || !strings.Contains(out, "428") {
+		t.Error("rows missing graph/makespan data")
+	}
+	// A zero Kind names the mesh default; explicit kinds pass through.
+	if !strings.Contains(out, "\nmesh,") || !strings.Contains(out, "\ntorus,") {
+		t.Errorf("kind column missing:\n%s", out)
+	}
+}
+
+func TestTaskGraphTable(t *testing.T) {
+	tbl := TaskGraphTable(taskGraphResults())
+	for _, want := range []string{"makespan (clk)", "stretch", "moe-alltoall", "3.01", "1.00",
+		"Electronic + HyPPI express@3"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("task-graph table missing %q:\n%s", want, tbl)
 		}
 	}
 	for i, l := range strings.Split(tbl, "\n") {

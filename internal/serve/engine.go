@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,11 @@ const (
 	// DefaultQueueDepth bounds the pending-evaluation queue; beyond it
 	// the engine answers queue_full instead of growing without bound.
 	DefaultQueueDepth = 256
+	// DefaultCacheEntries bounds the result cache: at the cap the
+	// least-recently-used completed entry is evicted to admit a new
+	// query, so a long-lived server's memory stays proportional to its
+	// working set, not its history.
+	DefaultCacheEntries = 1024
 	// DefaultTraceScale is the NPB volume scale for kernel queries (the
 	// CLIs' default).
 	DefaultTraceScale = 1.0 / 16
@@ -44,23 +50,29 @@ type Config struct {
 	// Workers sizes the evaluation pool a batch fans out on
 	// (0 = GOMAXPROCS).
 	Workers int
-	// MaxBatch, QueueDepth, MaxNodes and TraceScale default to the
-	// package constants when zero.
+	// MaxBatch, QueueDepth, MaxNodes, CacheEntries and TraceScale
+	// default to the package constants when zero.
 	MaxBatch   int
 	QueueDepth int
 	MaxNodes   int
-	TraceScale float64
+	// CacheEntries caps the result cache; least-recently-used completed
+	// entries are evicted at the cap (in-flight evaluations are pinned —
+	// waiters hold them — so a cache full of in-flight work rejects new
+	// queries with queue_full instead).
+	CacheEntries int
+	TraceScale   float64
 }
 
 // DefaultEngineConfig returns the serving defaults.
 func DefaultEngineConfig() Config {
 	return Config{
-		Options:    core.DefaultOptions(),
-		Sweep:      core.DefaultEnergySweep(),
-		MaxBatch:   DefaultMaxBatch,
-		QueueDepth: DefaultQueueDepth,
-		MaxNodes:   DefaultMaxNodes,
-		TraceScale: DefaultTraceScale,
+		Options:      core.DefaultOptions(),
+		Sweep:        core.DefaultEnergySweep(),
+		MaxBatch:     DefaultMaxBatch,
+		QueueDepth:   DefaultQueueDepth,
+		MaxNodes:     DefaultMaxNodes,
+		CacheEntries: DefaultCacheEntries,
+		TraceScale:   DefaultTraceScale,
 	}
 }
 
@@ -81,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxNodes <= 0 {
 		c.MaxNodes = DefaultMaxNodes
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
 	}
 	if c.TraceScale <= 0 {
 		c.TraceScale = DefaultTraceScale
@@ -103,7 +118,11 @@ type Stats struct {
 	MaxBatch int
 	// Rejected counts queue-full backpressure rejections.
 	Rejected uint64
-	// CacheEntries is the current number of cached canonical queries.
+	// Evictions counts completed entries dropped by the LRU bound
+	// (Config.CacheEntries) to admit new queries.
+	Evictions uint64
+	// CacheEntries is the current number of cached canonical queries,
+	// never above Config.CacheEntries.
 	CacheEntries int
 }
 
@@ -118,11 +137,15 @@ func (s Stats) HitRate() float64 {
 // entry is one cached canonical query. done closes when the evaluation
 // lands; res/err are immutable afterwards. Waiters joining before
 // completion are the single-flight dedup path; joiners after completion
-// are plain cache hits — both read the same bytes.
+// are plain cache hits — both read the same bytes. elem is the entry's
+// recency-list position (front = most recent), owned by Engine.mu.
+// Eviction only unlinks an entry from the cache: waiters already holding
+// it still complete normally.
 type entry struct {
 	done chan struct{}
 	res  *Result
 	err  *Error
+	elem *list.Element
 }
 
 // job pairs a cache entry with the canonical request that fills it.
@@ -145,6 +168,10 @@ type Engine struct {
 	mu     sync.Mutex
 	closed bool
 	cache  map[string]*entry
+	// lru orders cache keys by recency (front = most recent); at
+	// Config.CacheEntries the least-recently-used completed entry is
+	// evicted to admit a new query.
+	lru *list.List
 
 	// draining marks the graceful-shutdown window: transports refuse new
 	// queries (HTTP 503 / code "draining") while queries already accepted
@@ -154,8 +181,8 @@ type Engine struct {
 	queue        chan *job
 	dispatcherWG sync.WaitGroup
 
-	hits, misses, evals, batches, rejected atomic.Uint64
-	maxBatch                               atomic.Int64
+	hits, misses, evals, batches, rejected, evictions atomic.Uint64
+	maxBatch                                          atomic.Int64
 
 	// evalHook, when set before the first query, observes every batch
 	// just before evaluation (test instrumentation: the single-flight
@@ -168,6 +195,7 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{
 		cfg:   cfg.withDefaults(),
 		cache: make(map[string]*entry),
+		lru:   list.New(),
 	}
 	e.queue = make(chan *job, e.cfg.QueueDepth)
 	e.dispatcherWG.Add(1)
@@ -208,6 +236,7 @@ func (e *Engine) Stats() Stats {
 		Batches:      e.batches.Load(),
 		MaxBatch:     int(e.maxBatch.Load()),
 		Rejected:     e.rejected.Load(),
+		Evictions:    e.evictions.Load(),
 		CacheEntries: entries,
 	}
 }
@@ -229,6 +258,7 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	e.mu.Lock()
 	ent, ok := e.cache[key]
 	if ok {
+		e.lru.MoveToFront(ent.elem)
 		e.mu.Unlock()
 		e.hits.Add(1)
 	} else {
@@ -236,9 +266,18 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 			e.mu.Unlock()
 			return errResponse(req.ID, errf(CodeQueueFull, "", "server shutting down"))
 		}
+		if len(e.cache) >= e.cfg.CacheEntries && !e.evictLocked() {
+			// Cap reached with every entry still evaluating: reject
+			// rather than grow or drop work waiters depend on.
+			e.mu.Unlock()
+			e.rejected.Add(1)
+			return errResponse(req.ID, errf(CodeQueueFull, "",
+				"result cache full (%d entries, all in flight); retry later", e.cfg.CacheEntries))
+		}
 		ent = &entry{done: make(chan struct{})}
 		select {
 		case e.queue <- &job{canon: canon, ent: ent}:
+			ent.elem = e.lru.PushFront(key)
 			e.cache[key] = ent
 			e.mu.Unlock()
 			e.misses.Add(1)
@@ -260,6 +299,26 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 	}
 	res := *ent.res
 	return Response{ID: req.ID, OK: true, Result: &res}
+}
+
+// evictLocked drops the least-recently-used completed entry, reporting
+// whether one was found. In-flight entries are pinned — their waiters
+// joined through the cache and the dispatcher still owns their jobs — so
+// the scan walks from the cold end skipping anything not yet done.
+// Callers hold e.mu.
+func (e *Engine) evictLocked() bool {
+	for el := e.lru.Back(); el != nil; el = el.Prev() {
+		key := el.Value.(string)
+		select {
+		case <-e.cache[key].done:
+			delete(e.cache, key)
+			e.lru.Remove(el)
+			e.evictions.Add(1)
+			return true
+		default: // still evaluating: pinned
+		}
+	}
+	return false
 }
 
 // dispatch is the micro-batcher: it blocks for one queued job, greedily

@@ -263,6 +263,97 @@ func TestMicroBatchCoalescing(t *testing.T) {
 	}
 }
 
+// TestCacheEvictionLRU pins the cache bound: at CacheEntries the
+// least-recently-used completed entry is evicted (recency set by hits,
+// not just inserts), the survivor still answers from cache, and the
+// evicted query re-evaluates on return.
+func TestCacheEvictionLRU(t *testing.T) {
+	e := newTestEngine(t, func(c *Config) { c.CacheEntries = 2; c.Workers = 1 })
+	ctx := context.Background()
+	q := func(load float64) Request {
+		return Request{Width: 4, Height: 4, Pattern: "uniform", Load: load}
+	}
+
+	for _, load := range []float64{0.05, 0.1} { // fill the cache: [B, A]
+		if r := e.Do(ctx, q(load)); !r.OK {
+			t.Fatalf("query %v failed: %+v", load, r)
+		}
+	}
+	if r := e.Do(ctx, q(0.05)); !r.OK { // touch A: recency now [A, B]
+		t.Fatalf("touch failed: %+v", r)
+	}
+	if r := e.Do(ctx, q(0.15)); !r.OK { // C evicts B, the LRU — not A
+		t.Fatalf("evicting query failed: %+v", r)
+	}
+	st := e.Stats()
+	if st.Evictions != 1 || st.CacheEntries != 2 {
+		t.Fatalf("want 1 eviction at the 2-entry cap, got %+v", st)
+	}
+
+	if r := e.Do(ctx, q(0.05)); !r.OK { // A survived: a hit, no new eval
+		t.Fatalf("surviving entry failed: %+v", r)
+	}
+	if r := e.Do(ctx, q(0.1)); !r.OK { // B was evicted: a fresh miss
+		t.Fatalf("evicted entry failed on return: %+v", r)
+	}
+	st = e.Stats()
+	if st.Hits != 2 || st.Misses != 4 || st.Evaluations != 4 {
+		t.Errorf("want hits=2 misses=4 evals=4 across the eviction, got %+v", st)
+	}
+	if st.Evictions != 2 || st.CacheEntries != 2 {
+		t.Errorf("cache not bounded after re-admission: %+v", st)
+	}
+}
+
+// TestEvictionPinsInFlight: at the cap with every entry still
+// evaluating, a new distinct query is rejected (queue_full) rather than
+// dropping an entry waiters depend on — while duplicates of the
+// in-flight query still join it (single-flight survives the bound).
+func TestEvictionPinsInFlight(t *testing.T) {
+	e, entered, release := gateEngine(t, func(c *Config) { c.CacheEntries = 1 })
+	ctx := context.Background()
+	q := func(load float64) Request {
+		return Request{Width: 4, Height: 4, Pattern: "uniform", Load: load}
+	}
+
+	var first Response
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); first = e.Do(ctx, q(0.05)) }()
+	<-entered // the lone cache slot is now a pinned in-flight entry
+
+	rejected := e.Do(ctx, q(0.1))
+	if rejected.OK || rejected.Error.Code != CodeQueueFull {
+		t.Fatalf("want queue_full with the cache pinned, got %+v", rejected)
+	}
+
+	var joined Response
+	wg.Add(1)
+	go func() { defer wg.Done(); joined = e.Do(ctx, q(0.05)) }()
+	waitStats(t, e, func(s Stats) bool { return s.Hits == 1 }, "duplicate joining the pinned entry")
+
+	release <- struct{}{}
+	wg.Wait()
+	if !first.OK || !joined.OK || !bytes.Equal(first.Encode(), joined.Encode()) {
+		t.Fatalf("single-flight answers diverged under the cache bound: %+v vs %+v", first, joined)
+	}
+
+	// With the entry completed the slot is evictable: the rejected query
+	// now displaces it.
+	var later Response
+	wg.Add(1)
+	go func() { defer wg.Done(); later = e.Do(ctx, q(0.1)) }()
+	<-entered
+	release <- struct{}{}
+	wg.Wait()
+	if !later.OK {
+		t.Fatalf("query after completion failed: %+v", later)
+	}
+	if st := e.Stats(); st.Evictions != 1 || st.CacheEntries != 1 || st.Rejected != 1 {
+		t.Errorf("want 1 eviction, 1 rejection, bounded cache; got %+v", st)
+	}
+}
+
 // TestServeLinesOrderAndRecovery: responses come back in input order,
 // blank lines are skipped, malformed lines answer structured errors
 // without killing the session.

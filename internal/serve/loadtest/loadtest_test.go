@@ -44,6 +44,31 @@ func TestRunReportsRateAndHits(t *testing.T) {
 	}
 }
 
+// TestRunBoundedCache: a cache cap smaller than the mix forces LRU churn
+// — cycling the 12-query mix through 6 slots evicts on every round — yet
+// every query still answers and the cache never exceeds its bound.
+func TestRunBoundedCache(t *testing.T) {
+	sc := core.DefaultEnergySweep()
+	sc.Workload.Cycles = 400
+	sc.NoC.MaxCycles = 20000
+	e := serve.NewEngine(serve.Config{Sweep: sc, Workers: 2, CacheEntries: 6})
+	t.Cleanup(e.Close)
+
+	rep, err := Run(context.Background(), e, Config{Queries: 36, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("queries failed under the cache bound: %+v", rep)
+	}
+	if rep.Stats.CacheEntries > 6 {
+		t.Errorf("cache exceeded its cap: %+v", rep.Stats)
+	}
+	if rep.Stats.Evictions == 0 {
+		t.Errorf("cycling 12 distinct queries through 6 slots evicted nothing: %+v", rep.Stats)
+	}
+}
+
 // TestRunPacing: with a target rate, the run cannot finish faster than
 // the pacing allows (the harness meters offered load, not just capacity).
 func TestRunPacing(t *testing.T) {

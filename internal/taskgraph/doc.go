@@ -1,0 +1,33 @@
+// Package taskgraph models execution-driven application workloads as
+// message DAGs: each node is one network message (src, dst, size) and each
+// edge is a dependency — the message may not enter its source queue until
+// every predecessor's tail flit has ejected at its destination. Compute
+// time between receiving inputs and sending the result is modeled as a
+// release offset (ComputeClks) applied after the last predecessor
+// completes; messages with no predecessors treat the offset as an absolute
+// release cycle.
+//
+// Running a Graph through the noc kernel's closed-loop injection mode
+// (Sim.InjectClosedLoop) makes congestion feed back into the schedule: a
+// message delayed by contention delays everything downstream of it, which
+// is exactly the property fixed-rate synthetic traffic cannot express. The
+// end-to-end figure of merit is the makespan — the cycle at which the last
+// tail flit ejects (Stats.MakespanClks) — reported alongside the usual
+// per-flit latency distribution.
+//
+// The package ships parameterized generators for the workload classes that
+// decide whether long-range express links pay off (see ROADMAP
+// "Execution-driven application workloads"):
+//
+//   - classic collectives: binomial-tree reduce and broadcast, chunked
+//     ring allreduce, and tree allreduce (reduce + broadcast composed);
+//   - transformer-style operators: attention all-gather (ring), MoE
+//     all-to-all dispatch/combine (combine depends on the matching
+//     dispatch through expert compute), and pipeline-parallel
+//     point-to-point microbatch chains.
+//
+// Generators are registered by name, mirroring the traffic-pattern
+// registry, so CLIs and sweeps can select them with -graphs=a,b,c. All
+// generators are pure functions of (node count, GenConfig) — no RNG — so
+// every sweep over them is deterministic by construction.
+package taskgraph
