@@ -22,6 +22,10 @@
 #   make taskgraph-smoke — the closed-loop workload gate: allreduce and MoE
 #                        operator graphs on the 8×8 hybrid under a wall
 #                        budget (see TestTaskGraphSmoke)
+#   make telemetry-smoke — the observability gate: a traced 16×16 sweep
+#                        whose Chrome trace export must parse and whose
+#                        probe series must match the window math
+#                        (see TestTelemetrySmoke)
 
 GO ?= go
 
@@ -29,7 +33,7 @@ GO ?= go
 # pinned baseline.
 BENCH_OUT ?= /tmp/hyppi-bench-current.txt
 
-.PHONY: ci vet test short race fmt-check bench bench-baseline bench-compare scale-smoke golden golden-serve examples-smoke serve-smoke fault-smoke taskgraph-smoke
+.PHONY: ci vet test short race fmt-check bench bench-baseline bench-compare scale-smoke golden golden-serve examples-smoke serve-smoke fault-smoke taskgraph-smoke telemetry-smoke
 
 # Ordered so the cheapest gates fail first: vet (seconds), short
 # (seconds), race-short (tens of seconds), then the full suite.
@@ -116,3 +120,11 @@ fault-smoke:
 # contention-free critical-path bounds inside a CI-container wall budget.
 taskgraph-smoke:
 	$(GO) test ./internal/core -run TestTaskGraphSmoke -timeout 300s -v
+
+# The observability gate: a traced 16×16 telemetry sweep — the Chrome
+# trace-event export must parse as JSON with one Perfetto process per
+# cell, and the probe series must obey the window math exactly
+# (Cycles/W + 1 closed windows, no evictions at the smoke horizon).
+telemetry-smoke:
+	$(GO) test ./internal/telemetry -timeout 300s -v
+	$(GO) test ./internal/core -run TestTelemetry -timeout 300s -v

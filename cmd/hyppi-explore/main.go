@@ -14,6 +14,7 @@
 //	hyppi-explore -energy [-patterns uniform,tornado]
 //	hyppi-explore -patterns uniform -grid 64x64
 //	hyppi-explore -cpuprofile cpu.out -memprofile mem.out
+//	hyppi-explore -blockprofile block.out -mutexprofile mutex.out
 //
 // With -patterns, the analytic exploration is followed by a
 // cycle-accurate synthetic-pattern saturation sweep (the -grid geometry,
@@ -88,9 +89,14 @@ func run() int {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.StartAll(prof.Config{
+		CPUPath: *cpuprofile, MemPath: *memprofile,
+		BlockPath: *blockprofile, MutexPath: *mutexprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyppi-explore:", err)
 		return 1

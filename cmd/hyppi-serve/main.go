@@ -12,13 +12,19 @@
 //	hyppi-serve -http :8080 &
 //	curl -d '{"pattern":"tornado","load":0.1,"want":"clear"}' localhost:8080/query
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
+//	hyppi-serve -http :8080 -debug-addr localhost:6060 &
 //	hyppi-serve -selftest -queries 120 -clients 8 -min-qps 50 -min-hit 0.5
 //
 // Without -http, hyppi-serve speaks the JSON-lines protocol on
 // stdin/stdout (the BookSim2-style cosimulation interface): one request
 // per line, one response line per request, in request order. With -http
-// it serves POST /query, GET /stats and GET /healthz instead, with
-// read/write timeouts and a 1 MiB request-body bound.
+// it serves POST /query, GET /stats (counters as JSON, including uptime
+// and queue depth), GET /metrics (the same census in Prometheus text
+// format 0.0.4, plus a service-latency histogram) and GET /healthz, with
+// read/write timeouts and a 1 MiB request-body bound. -debug-addr starts
+// an extra net/http/pprof listener on a separate (ideally loopback)
+// address for live profiling.
 //
 // SIGINT or SIGTERM drains gracefully: new queries are refused with 503
 // draining (and /healthz stops reporting ok, so load balancers shed
@@ -37,6 +43,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +71,9 @@ func main() {
 
 func run() int {
 	httpAddr := flag.String("http", "", "serve HTTP on this address instead of stdio (e.g. :8080)")
+	debugAddr := flag.String("debug-addr", "",
+		"also serve net/http/pprof on this address (e.g. localhost:6060); "+
+			"keep it off public interfaces")
 	workers := flag.Int("workers", 0, "evaluation pool size per batch (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", serve.DefaultQueueDepth, "pending-evaluation queue depth (backpressure bound)")
 	maxBatch := flag.Int("batch", serve.DefaultMaxBatch, "max queries coalesced into one evaluation batch")
@@ -92,6 +102,27 @@ func run() int {
 	cfg.MaxNodes = *maxNodes
 	engine := serve.NewEngine(cfg)
 	defer engine.Close()
+
+	// The debug listener is opt-in and separate from the service address,
+	// so profiling endpoints never ride on the public port. Its own mux
+	// carries only the pprof handlers.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyppi-serve:", err)
+			return 1
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		fmt.Fprintf(os.Stderr, "hyppi-serve: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go dsrv.Serve(dln)
+		defer dsrv.Close()
+	}
 
 	// One signal starts the graceful drain; stop() restores default
 	// delivery, so a second SIGINT/SIGTERM kills the process outright.
@@ -139,7 +170,7 @@ func run() int {
 			WriteTimeout:      5 * time.Minute,
 			IdleTimeout:       2 * time.Minute,
 		}
-		fmt.Fprintf(os.Stderr, "hyppi-serve: listening on http://%s (POST /query, GET /stats, GET /healthz)\n",
+		fmt.Fprintf(os.Stderr, "hyppi-serve: listening on http://%s (POST /query, GET /stats, GET /metrics, GET /healthz)\n",
 			ln.Addr())
 		errc := make(chan error, 1)
 		go func() { errc <- srv.Serve(ln) }()

@@ -17,7 +17,9 @@
 //	hyppi-sim -taskgraph ring-allreduce [-express HyPPI]
 //	hyppi-sim -taskgraph all -topology all -csv
 //	hyppi-sim -kernel FT -topology torus
+//	hyppi-sim -pattern uniform -trace-out trace.json -probe-window 200
 //	hyppi-sim -cpuprofile cpu.out -memprofile mem.out
+//	hyppi-sim -blockprofile block.out -mutexprofile mutex.out
 //
 // With -pattern, hyppi-sim runs a synthetic traffic saturation sweep
 // instead of traces: the named registry pattern (or "all") is swept over
@@ -39,6 +41,14 @@
 // is scored against the contention-free critical-path bound. On the mesh
 // the express hop ladder competes; -topology sweeps plain fabrics per
 // kind; -csv emits the dataset instead of the aligned table.
+//
+// Adding -trace-out runs the instrumented telemetry sweep instead
+// (internal/telemetry): each design point × pattern cell runs once at a
+// fixed load with deterministic sampled packet tracing and windowed
+// time-series probes attached, the sampled spans are written to the named
+// file as Chrome trace-event JSON (loadable in Perfetto), and span tables
+// plus probe heatmaps print to stdout (-csv emits the probe census
+// instead; -probe-window sets the window length in cycles).
 //
 // Adding -faults instead runs the reliability sweep (internal/fault):
 // seed-derived link-failure schedules at each rate of a ladder, adaptive
@@ -75,6 +85,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/taskgraph"
 	"repro/internal/tech"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -175,11 +186,22 @@ func run() int {
 	scale := flag.Float64("scale", 1.0/16, "NPB volume scale")
 	iters := flag.Int("iterations", 0, "iteration count (0 = kernel default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	traceOut := flag.String("trace-out", "",
+		"with -pattern: run the instrumented telemetry sweep, write sampled packet "+
+			"traces as Chrome trace-event JSON to this file (loadable in Perfetto) "+
+			"and print span tables and probe heatmaps")
+	probeWindow := flag.Int64("probe-window", 0,
+		"with -trace-out: time-series probe window in cycles (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.StartAll(prof.Config{
+		CPUPath: *cpuprofile, MemPath: *memprofile,
+		BlockPath: *blockprofile, MutexPath: *mutexprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyppi-sim:", err)
 		return 1
@@ -225,6 +247,13 @@ func run() int {
 		}
 		o.Topology.Width, o.Topology.Height = w, h
 		switch {
+		case *traceOut != "":
+			if len(kinds) != 1 {
+				err = fmt.Errorf("-trace-out takes a single -topology kind")
+			} else {
+				err = runTelemetry(kinds[0], *pattern, *traceOut, *probeWindow,
+					exTech, *csvOut, o, pool)
+			}
 		case *faultSweep:
 			err = runFaultSweep(kinds, *pattern, *variantFlag, exTech, *csvOut, o, pool)
 		case *energySweep:
@@ -521,6 +550,83 @@ func runPatternSweep(spec string, exTech tech.Technology, o core.Options, pool r
 	}
 	fmt.Println("\nSaturation summary (latency-knee rule: avg > 3x zero-load, or no drain)")
 	fmt.Print(report.SaturationTable(results))
+	return nil
+}
+
+// runTelemetry is the instrumented variant of the pattern sweep: one run
+// per design point × pattern at the telemetry load with sampled packet
+// tracing and windowed probes attached, the Chrome trace-event export
+// written to traceOut, and the probe census printed as tables and text
+// heatmaps (or CSV with -csv). On the mesh the express hop ladder
+// competes; other kinds run the plain fabric.
+func runTelemetry(kind topology.Kind, spec, traceOut string, probeWindow int64,
+	exTech tech.Technology, csvOut bool, o core.Options, pool runner.Config) error {
+	patterns, err := traffic.ParsePatterns(spec)
+	if err != nil {
+		return err
+	}
+	o = o.WithKind(kind)
+	sc := core.DefaultTelemetrySweep()
+	if probeWindow > 0 {
+		sc.Telemetry.ProbeWindowClks = probeWindow
+	}
+	var points []core.DesignPoint
+	if kind == topology.Mesh {
+		for _, hops := range patternHopLadder(o.Topology.Width) {
+			ex := exTech
+			if hops == 0 {
+				ex = tech.Electronic // plain mesh: express tech is unused
+			}
+			points = append(points, core.DesignPoint{Base: tech.Electronic, Express: ex, Hops: hops})
+		}
+	} else {
+		points = []core.DesignPoint{{Base: tech.Electronic, Express: tech.Electronic, Hops: 0}}
+	}
+	results, err := core.TelemetrySweep(context.Background(), points, patterns, sc, o, pool)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(traceOut)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, core.ChromeProcesses(results)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if csvOut {
+		return report.WriteTelemetrySweep(os.Stdout, results)
+	}
+	fmt.Printf("%d×%d telemetry sweep @ rate %.3g, sample %.3g, window %d clks\n",
+		o.Topology.Width, o.Topology.Height, sc.Rate,
+		sc.Telemetry.SampleRate, sc.Telemetry.ProbeWindowClks)
+	for _, r := range results {
+		fmt.Printf("\n=== %s ===\n", r.Label())
+		if r.Saturated {
+			fmt.Println("saturated (failed to drain); telemetry covers the run up to the cap")
+		}
+		fmt.Printf("packets %d, sampled %d (%d spans recorded)\n",
+			r.Trace.TotalPackets, r.Trace.SampledPackets, len(r.Trace.Spans))
+		fmt.Print(report.SpanTable(r.Trace, 15))
+		p := r.Probes
+		fmt.Printf("\nprobe timeline (%d windows of %d clks):\n", p.Windows(), p.WindowClks())
+		fmt.Print(report.ProbeTimeline(p))
+		net, _, err := o.NetworkAndTable(r.Point)
+		if err != nil {
+			return err
+		}
+		if peak := report.PeakWindow(p); peak >= 0 {
+			fmt.Print(report.ProbeOccupancyGrid(p, net, peak))
+			fmt.Print(report.ProbeLinkHeatmap(p, net, 12))
+		}
+	}
+	fmt.Printf("\nwrote Chrome trace JSON for %d cells to %s (open in Perfetto or chrome://tracing)\n",
+		len(results), traceOut)
 	return nil
 }
 

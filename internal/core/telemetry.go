@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TelemetrySweepConfig parameterizes an instrumented sweep: every
+// (design point, pattern) cell runs once at Rate with a telemetry
+// collector attached — sampled packet tracing plus the windowed probe
+// census — instead of walking a rate ladder.
+type TelemetrySweepConfig struct {
+	// Rate is the offered peak per-node injection rate in flits/cycle.
+	Rate float64
+	// Workload shapes the open-loop arrivals (exactly the pattern sweep's
+	// generator, so a telemetry run reproduces the sweep point it
+	// explains).
+	Workload noc.BernoulliWorkload
+	// NoC configures the cycle-accurate simulator.
+	NoC noc.Config
+	// Telemetry configures each cell's collector. Its Seed is the sweep
+	// base: cell i samples with runner.Seed(Seed, i), so the traced set
+	// is a pure function of (base seed, cell index, packet index) and the
+	// sweep is bit-identical for any worker count.
+	Telemetry telemetry.Config
+}
+
+// DefaultTelemetrySweep instruments the pattern sweep's mid-load point:
+// 5% packet sampling and a 200-cycle probe window on the 8×8 workload.
+func DefaultTelemetrySweep() TelemetrySweepConfig {
+	ps := DefaultPatternSweep()
+	return TelemetrySweepConfig{
+		Rate:     0.1,
+		Workload: ps.Workload,
+		NoC:      ps.NoC,
+		Telemetry: telemetry.Config{
+			SampleRate:      0.05,
+			Seed:            101,
+			ProbeWindowClks: 200,
+		},
+	}
+}
+
+// Validate checks the sweep parameters.
+func (c TelemetrySweepConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("core: telemetry sweep rate %v must be positive", c.Rate)
+	}
+	return c.Telemetry.Validate()
+}
+
+// TelemetryResult is one instrumented (kind, design point, pattern) cell.
+type TelemetryResult struct {
+	// Kind is the topology family the cell ran on.
+	Kind    topology.Kind
+	Point   DesignPoint
+	Pattern string
+	// Rate is the offered load the cell ran at.
+	Rate float64
+	// Saturated marks a cell that failed to drain within the cycle cap;
+	// its Stats, Trace and Probes cover the run up to the cap.
+	Saturated bool
+	// Stats is the run's full kernel census — bit-identical to the same
+	// run without telemetry attached (the observer is passive).
+	Stats noc.Stats
+	// Trace holds the sampled packet spans; Probes the windowed series
+	// (nil when the probe window is 0).
+	Trace  *telemetry.Trace
+	Probes *telemetry.Probes
+}
+
+// Label names the cell for trace exports and tables.
+func (r TelemetryResult) Label() string {
+	label := PatternSweepResult{Kind: r.Kind, Point: r.Point}.PointLabel()
+	return fmt.Sprintf("%s / %s @ %.3g", label, r.Pattern, r.Rate)
+}
+
+// TelemetrySweep runs the design-point × pattern matrix once at the
+// configured load with a telemetry collector attached to every cell. Cells
+// run concurrently on the worker pool under the repository's determinism
+// contract: each cell's collector seeds from runner.Seed(sc.Telemetry.Seed,
+// cellIndex), packets sample by (cell seed, packet index) alone, and
+// results are collected in (point-major, pattern-minor) order — so traces
+// and probes are bit-identical for any worker count. A saturated cell is
+// reported with its partial telemetry rather than failing the sweep, and
+// the attached collector never perturbs the simulation: each cell's Stats
+// match an uninstrumented run bit for bit
+// (TestTelemetryObserverOffBitIdentical).
+func TelemetrySweep(ctx context.Context, points []DesignPoint, patterns []traffic.Pattern,
+	sc TelemetrySweepConfig, o Options, pool runner.Config) ([]TelemetryResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 || len(patterns) == 0 {
+		return nil, fmt.Errorf("core: telemetry sweep needs points and patterns")
+	}
+	nets := make([]*topology.Network, len(points))
+	tabs := make([]*routing.Table, len(points))
+	for i, point := range points {
+		net, tab, err := o.NetworkAndTable(point)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", point, err)
+		}
+		nets[i], tabs[i] = net, tab
+	}
+	bases := make([]*traffic.Matrix, len(points)*len(patterns))
+	for pi := range points {
+		for qi, p := range patterns {
+			m, err := p.Generate(nets[pi], 1)
+			if err != nil {
+				return nil, fmt.Errorf("core: pattern %s: %w", p.Name(), err)
+			}
+			bases[pi*len(patterns)+qi] = m
+		}
+	}
+	sims := noc.NewSimPool()
+	n := len(points) * len(patterns)
+	return runner.Map(ctx, n, pool, func(_ context.Context, i int) (TelemetryResult, error) {
+		pi, qi := i/len(patterns), i%len(patterns)
+		point, net, tab := points[pi], nets[pi], tabs[pi]
+		res := TelemetryResult{
+			Kind:    net.Config.Kind,
+			Point:   point,
+			Pattern: patterns[qi].Name(),
+			Rate:    sc.Rate,
+		}
+		tm := bases[i].ScaledToMaxRate(sc.Rate)
+		pkts, err := sc.Workload.Generate(net, tm)
+		if err != nil {
+			return TelemetryResult{}, fmt.Errorf("core: %s: %w", res.Label(), err)
+		}
+		tcfg := sc.Telemetry
+		tcfg.Seed = runner.Seed(sc.Telemetry.Seed, i)
+		col, err := telemetry.New(tcfg, net)
+		if err != nil {
+			return TelemetryResult{}, fmt.Errorf("core: %s: %w", res.Label(), err)
+		}
+		sim, err := sims.Get(net, tab, sc.NoC)
+		if err != nil {
+			return TelemetryResult{}, err
+		}
+		if err := sim.InjectAll(pkts); err != nil {
+			return TelemetryResult{}, err
+		}
+		sim.SetObserver(col)
+		st, err := sim.Run()
+		sims.Put(sim)
+		if err != nil {
+			if !errors.Is(err, noc.ErrSaturated) {
+				return TelemetryResult{}, fmt.Errorf("core: %s: %w", res.Label(), err)
+			}
+			res.Saturated = true
+		}
+		col.Finish(st.Cycles)
+		res.Stats = st
+		res.Trace = col.Trace()
+		res.Probes = col.Probes()
+		return res, nil
+	})
+}
+
+// ChromeProcesses adapts telemetry results for telemetry.WriteChromeTrace:
+// one labeled Perfetto process per cell, in sweep order.
+func ChromeProcesses(results []TelemetryResult) []telemetry.ProcessTrace {
+	procs := make([]telemetry.ProcessTrace, len(results))
+	for i, r := range results {
+		procs[i] = telemetry.ProcessTrace{Name: r.Label(), Trace: r.Trace}
+	}
+	return procs
+}

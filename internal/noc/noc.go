@@ -225,6 +225,34 @@ func (a *Activity) MaxSourceRate(cycles int64) float64 {
 	return float64(peak) / float64(cycles)
 }
 
+// Observer is the kernel's telemetry tap (see internal/telemetry): a
+// passive listener on the flit events the hot path already sequences.
+// Every callback fires at a deterministic point of the cycle loop, in the
+// kernel's own index order, so an observer sees a bit-reproducible event
+// stream for identical inputs. Observers must not mutate the simulator or
+// retain references into it — the disabled path (no observer attached) is
+// a single nil check per event site and must stay bit-identical to an
+// observed run (TestObserverDoesNotPerturbStats pins that).
+type Observer interface {
+	// PacketInjected fires once per packet, when its head flit enters the
+	// source's injection VC at cycle. It always precedes every other
+	// event of that packet index.
+	PacketInjected(pkt int32, p Packet, cycle int64)
+	// FlitInjected fires for every flit (head included, right after its
+	// PacketInjected) entering node's injection VC at cycle.
+	FlitInjected(pkt int32, node int32, cycle int64)
+	// FlitDelivered fires when a flit comes off channel link into the
+	// input buffer of router dst at cycle.
+	FlitDelivered(pkt int32, link int32, dst int32, head bool, cycle int64)
+	// FlitSent fires when a flit wins switch allocation at router and
+	// leaves through link (-1 = the ejection port; the flit retires at
+	// cycle+1, the kernel's MakespanClks convention). dropped is set only
+	// on the tail ejection of a packet that exhausted its retransmission
+	// budget. Corrupted traversals under an armed FaultProfile do not
+	// fire (the flit stays buffered); only the successful attempt does.
+	FlitSent(pkt int32, router int32, link int32, head, tail, dropped bool, cycle int64)
+}
+
 // flit is the unit of flow control.
 type flit struct {
 	pkt  int32 // index into Sim.pkts
@@ -466,6 +494,11 @@ type Sim struct {
 	// with a named error instead of panicking on the missing port.
 	fault    *faultState
 	routeErr error
+
+	// obs is the attached telemetry tap (nil = disabled; see SetObserver).
+	// Each event site guards its callback with one nil check, so the
+	// telemetry-off hot path is unchanged.
+	obs Observer
 
 	// classed enables dateline VC-class partitioning: required for the
 	// torus-like hops = Width−1 topology, where packets crossing a row
@@ -712,7 +745,15 @@ func (s *Sim) Reset() {
 	clear(s.activeMask)
 	s.fault = nil
 	s.routeErr = nil
+	s.obs = nil
 }
+
+// SetObserver attaches a telemetry tap for the next Run (nil detaches).
+// Observers are external wiring like fault profiles: Reset clears them, so
+// a pooled Sim never leaks one run's collector into the next. The observer
+// must not mutate the simulator; it cannot change results (the kernel
+// never reads it), only watch them.
+func (s *Sim) SetObserver(o Observer) { s.obs = o }
 
 // Inject queues a packet for injection. Must be called before Run.
 func (s *Sim) Inject(p Packet) error {
@@ -890,6 +931,9 @@ func (s *Sim) deliverLinkArrivals() {
 		s.totalBuf++
 		s.inflight--
 		s.activateRouter(dst)
+		if s.obs != nil {
+			s.obs.FlitDelivered(e.f.pkt, e.lid, dst, e.f.head, s.now)
+		}
 	}
 	s.calendar[bi] = bucket[:0]
 }
@@ -984,6 +1028,12 @@ func (s *Sim) injectNode(node int) {
 	s.activateRouter(int32(node))
 	if f.head {
 		s.stats.PacketsInjected++
+	}
+	if s.obs != nil {
+		if f.head {
+			s.obs.PacketInjected(pi, p.Packet, s.now)
+		}
+		s.obs.FlitInjected(pi, int32(node), s.now)
 	}
 	if f.tail {
 		vc.writer = -1
@@ -1259,6 +1309,15 @@ func (s *Sim) sendFlit(rid, port, v, op int, ejected *int64) {
 		if e.f.head {
 			s.pkts[e.f.pkt].hops++
 		}
+	}
+
+	if s.obs != nil {
+		lid := int32(-1)
+		if op != 0 {
+			lid = int32(out.link)
+		}
+		dropped := op == 0 && e.f.tail && s.pkts[e.f.pkt].dropped
+		s.obs.FlitSent(e.f.pkt, int32(rid), lid, e.f.head, e.f.tail, dropped, s.now)
 	}
 
 	// Tail departure releases the output VC and the route.

@@ -1,0 +1,164 @@
+package noc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// countingObserver tallies every observer event; it never touches the sim.
+type countingObserver struct {
+	packets, injected, delivered, sent int64
+	ejectTails, dropTails              int64
+	lastCycle                          int64
+}
+
+func (o *countingObserver) PacketInjected(pkt int32, p Packet, cycle int64) {
+	o.packets++
+	o.note(cycle)
+}
+
+func (o *countingObserver) FlitInjected(pkt int32, node int32, cycle int64) {
+	o.injected++
+	o.note(cycle)
+}
+
+func (o *countingObserver) FlitDelivered(pkt int32, link int32, dst int32, head bool, cycle int64) {
+	o.delivered++
+	o.note(cycle)
+}
+
+func (o *countingObserver) FlitSent(pkt int32, router int32, link int32, head, tail, dropped bool, cycle int64) {
+	o.sent++
+	if tail && link < 0 {
+		o.ejectTails++
+		if dropped {
+			o.dropTails++
+		}
+	}
+	o.note(cycle)
+}
+
+func (o *countingObserver) note(cycle int64) {
+	if cycle < o.lastCycle {
+		panic("observer saw time run backwards")
+	}
+	o.lastCycle = cycle
+}
+
+func randomBurst(net *topology.Network, packets int, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Packet, 0, packets)
+	for i := 0; i < packets; i++ {
+		src := topology.NodeID(rng.Intn(net.NumNodes()))
+		dst := topology.NodeID(rng.Intn(net.NumNodes()))
+		size := 1
+		if rng.Intn(3) == 0 {
+			size = 8
+		}
+		ps = append(ps, Packet{Src: src, Dst: dst, SizeFlits: size,
+			Release: int64(rng.Intn(400))})
+	}
+	return ps
+}
+
+// TestObserverDoesNotPerturbStats: attaching an observer must leave every
+// kernel statistic bit-identical — the observer is a passive tap.
+func TestObserverDoesNotPerturbStats(t *testing.T) {
+	net, tab := smallMesh(t, 8, 8, 3)
+	pkts := randomBurst(net, 600, 42)
+
+	run := func(obs Observer) Stats {
+		s := newSim(t, net, tab)
+		if err := s.InjectAll(pkts); err != nil {
+			t.Fatal(err)
+		}
+		if obs != nil {
+			s.SetObserver(obs)
+		}
+		st, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	plain := run(nil)
+	observed := run(&countingObserver{})
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observer perturbed stats:\nplain:    %+v\nobserved: %+v",
+			plain, observed)
+	}
+}
+
+// TestObserverEventConsistency: on a fault-free run the observer's event
+// counts must reconcile with the kernel's own census — injections plus link
+// deliveries are exactly the buffer writes, sends the buffer reads, and
+// tail ejections the ejected packets.
+func TestObserverEventConsistency(t *testing.T) {
+	net, tab := smallMesh(t, 8, 8, 3)
+	pkts := randomBurst(net, 600, 43)
+	s := newSim(t, net, tab)
+	if err := s.InjectAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	obs := &countingObserver{}
+	s.SetObserver(obs)
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.packets != st.PacketsInjected {
+		t.Errorf("PacketInjected events %d, want %d", obs.packets, st.PacketsInjected)
+	}
+	if obs.injected != st.FlitsInjected {
+		t.Errorf("FlitInjected events %d, want %d", obs.injected, st.FlitsInjected)
+	}
+	if got := obs.injected + obs.delivered; got != st.Activity.BufferWrites {
+		t.Errorf("inject+deliver events %d, want BufferWrites %d",
+			got, st.Activity.BufferWrites)
+	}
+	if obs.sent != st.Activity.BufferReads {
+		t.Errorf("FlitSent events %d, want BufferReads %d",
+			obs.sent, st.Activity.BufferReads)
+	}
+	if obs.ejectTails != st.PacketsEjected+st.PacketsDropped {
+		t.Errorf("tail ejection events %d, want %d",
+			obs.ejectTails, st.PacketsEjected+st.PacketsDropped)
+	}
+	if obs.dropTails != st.PacketsDropped {
+		t.Errorf("dropped tail events %d, want %d", obs.dropTails, st.PacketsDropped)
+	}
+}
+
+// TestResetClearsObserver: a pooled sim must not leak its observer into
+// the next run.
+func TestResetClearsObserver(t *testing.T) {
+	net, tab := smallMesh(t, 4, 4, 3)
+	s := newSim(t, net, tab)
+	obs := &countingObserver{}
+	s.SetObserver(obs)
+	if err := s.Inject(Packet{Src: 0, Dst: 5, SizeFlits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.sent == 0 {
+		t.Fatal("observer saw no events before reset")
+	}
+	s.Reset()
+	before := obs.sent
+	if err := s.Inject(Packet{Src: 0, Dst: 5, SizeFlits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.sent != before {
+		t.Errorf("observer still attached after Reset: %d events, want %d",
+			obs.sent, before)
+	}
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/tech"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+func telemetryResults(t *testing.T) []core.TelemetryResult {
+	t.Helper()
+	pats, err := traffic.ParsePatterns("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.DefaultTelemetrySweep()
+	sc.Workload.Cycles = 500
+	sc.Telemetry.SampleRate = 0.5
+	sc.Telemetry.ProbeWindowClks = 100
+	o := core.DefaultOptions()
+	o.Topology.Width, o.Topology.Height = 4, 4
+	points := []core.DesignPoint{{Base: tech.Electronic, Express: tech.HyPPI, Hops: 3}}
+	rs, err := core.TelemetrySweep(context.Background(), points, pats, sc, o, runner.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// TestWriteTelemetrySweepRowCounts: the CSV is rectangular with exactly
+// one row per retained window per cell — the telemetry-smoke invariant.
+func TestWriteTelemetrySweepRowCounts(t *testing.T) {
+	rs := telemetryResults(t)
+	var buf bytes.Buffer
+	if err := WriteTelemetrySweep(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1
+	for _, r := range rs {
+		want += r.Probes.Windows()
+	}
+	if len(rows) != want {
+		t.Fatalf("%d CSV rows, want %d (header + windows)", len(rows), want)
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("row %d has %d columns, want %d", i+1, len(row), len(rows[0]))
+		}
+	}
+}
+
+// TestTelemetryRenderers: the text views render without panicking and
+// carry the expected structure.
+func TestTelemetryRenderers(t *testing.T) {
+	rs := telemetryResults(t)
+	r := rs[0]
+
+	st := SpanTable(r.Trace, 5)
+	if !strings.Contains(st, "hotspot") {
+		t.Error("span table missing header")
+	}
+	if len(r.Trace.Spans) > 5 && !strings.Contains(st, "more spans") {
+		t.Error("span table missing truncation note")
+	}
+
+	tl := ProbeTimeline(r.Probes)
+	if got := strings.Count(tl, "\n"); got < r.Probes.Windows() {
+		t.Errorf("timeline has %d lines for %d windows", got, r.Probes.Windows())
+	}
+
+	peak := PeakWindow(r.Probes)
+	if peak < 0 || peak >= r.Probes.Windows() {
+		t.Fatalf("peak window %d out of range", peak)
+	}
+	o := core.DefaultOptions()
+	o.Topology.Width, o.Topology.Height = 4, 4
+	net, _, err := o.NetworkAndTable(r.Point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := ProbeOccupancyGrid(r.Probes, net, peak)
+	lines := strings.Split(strings.TrimRight(grid, "\n"), "\n")
+	if len(lines) != 1+4 { // caption + Height rows
+		t.Fatalf("occupancy grid has %d lines, want 5", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 4 {
+			t.Fatalf("grid row %q width %d, want 4", l, len(l))
+		}
+	}
+
+	hm := ProbeLinkHeatmap(r.Probes, net, 8)
+	if !strings.Contains(hm, "link ") {
+		t.Error("link heatmap missing legend")
+	}
+	if got := strings.Count(hm, "\nw"); got != r.Probes.Windows() {
+		t.Errorf("heatmap has %d window rows, want %d", got, r.Probes.Windows())
+	}
+}
+
+// TestSpanTableEmpty: an empty trace renders as a bare header, not a
+// panic.
+func TestSpanTableEmpty(t *testing.T) {
+	out := SpanTable(&telemetry.Trace{}, 0)
+	if !strings.Contains(out, "pkt") {
+		t.Error("empty span table missing header")
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/npb"
 	"repro/internal/runner"
+	"repro/internal/stats"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -124,6 +126,11 @@ type Stats struct {
 	// CacheEntries is the current number of cached canonical queries,
 	// never above Config.CacheEntries.
 	CacheEntries int
+	// QueueDepth is the number of evaluations pending in the dispatcher
+	// queue at snapshot time (a gauge, unlike the counters above).
+	QueueDepth int
+	// UptimeSeconds is the time since the engine started.
+	UptimeSeconds float64
 }
 
 // HitRate is Hits / (Hits + Misses), 0 before any query.
@@ -184,18 +191,41 @@ type Engine struct {
 	hits, misses, evals, batches, rejected, evictions atomic.Uint64
 	maxBatch                                          atomic.Int64
 
+	// start anchors the uptime gauge; the latency fields feed the
+	// /metrics service-latency histogram (latMu keeps hist+sum+overflow
+	// mutually consistent — one short critical section per query).
+	start   time.Time
+	latMu   sync.Mutex
+	latHist *stats.Histogram
+	latSum  float64
+	latOver int64
+
 	// evalHook, when set before the first query, observes every batch
 	// just before evaluation (test instrumentation: the single-flight
 	// tests gate evaluation on it).
 	evalHook func([]core.EvalCell)
 }
 
+// Service-latency histogram shape: fixed-width buckets over [0,
+// latHistMaxSeconds); slower queries are counted in the +Inf overflow
+// bucket rather than clamped into the last bin.
+const (
+	latHistMaxSeconds = 5.0
+	latHistBins       = 50
+)
+
 // NewEngine starts an engine; callers own Close.
 func NewEngine(cfg Config) *Engine {
+	hist, err := stats.NewHistogram(0, latHistMaxSeconds, latHistBins)
+	if err != nil {
+		panic(err) // constant shape, cannot fail
+	}
 	e := &Engine{
-		cfg:   cfg.withDefaults(),
-		cache: make(map[string]*entry),
-		lru:   list.New(),
+		cfg:     cfg.withDefaults(),
+		cache:   make(map[string]*entry),
+		lru:     list.New(),
+		start:   time.Now(),
+		latHist: hist,
 	}
 	e.queue = make(chan *job, e.cfg.QueueDepth)
 	e.dispatcherWG.Add(1)
@@ -230,15 +260,32 @@ func (e *Engine) Stats() Stats {
 	entries := len(e.cache)
 	e.mu.Unlock()
 	return Stats{
-		Hits:         e.hits.Load(),
-		Misses:       e.misses.Load(),
-		Evaluations:  e.evals.Load(),
-		Batches:      e.batches.Load(),
-		MaxBatch:     int(e.maxBatch.Load()),
-		Rejected:     e.rejected.Load(),
-		Evictions:    e.evictions.Load(),
-		CacheEntries: entries,
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		Evaluations:   e.evals.Load(),
+		Batches:       e.batches.Load(),
+		MaxBatch:      int(e.maxBatch.Load()),
+		Rejected:      e.rejected.Load(),
+		Evictions:     e.evictions.Load(),
+		CacheEntries:  entries,
+		QueueDepth:    len(e.queue),
+		UptimeSeconds: time.Since(e.start).Seconds(),
 	}
+}
+
+// observeLatency records one query's wall-clock service time. Samples at
+// or beyond the histogram range are counted as overflow (the +Inf bucket)
+// so the exported bucket boundaries stay truthful.
+func (e *Engine) observeLatency(d time.Duration) {
+	sec := d.Seconds()
+	e.latMu.Lock()
+	e.latSum += sec
+	if sec >= latHistMaxSeconds {
+		e.latOver++
+	} else {
+		e.latHist.Add(sec)
+	}
+	e.latMu.Unlock()
 }
 
 // Do answers one query: validate and canonicalize, join the cached or
@@ -249,6 +296,8 @@ func (e *Engine) Stats() Stats {
 // returns a canceled error while the evaluation itself completes and
 // stays cached.
 func (e *Engine) Do(ctx context.Context, req Request) Response {
+	began := time.Now()
+	defer func() { e.observeLatency(time.Since(began)) }()
 	canon, errObj := req.Canonical(e.cfg.MaxNodes)
 	if errObj != nil {
 		return errResponse(req.ID, errObj)

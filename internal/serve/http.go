@@ -11,6 +11,7 @@ import (
 //
 //	POST /query   — one Request object in the body, one Response out
 //	GET  /stats   — the engine's serving counters as JSON
+//	GET  /metrics — the same counters in Prometheus text format 0.0.4
 //	GET  /healthz — liveness probe ("ok")
 //
 // Status codes map the protocol error classes: 200 for answered queries,
@@ -60,6 +61,12 @@ func (e *Engine) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(line, '\n'))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := e.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if e.Draining() {

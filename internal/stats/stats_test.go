@@ -220,3 +220,83 @@ func TestTableAlignment(t *testing.T) {
 	// Out-of-range AlignRight columns are ignored, not a panic.
 	NewTable("x").AlignRight(-1, 5).AddRow("v")
 }
+
+func TestHistogramSingleBinRender(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 1)
+	h.Add(3)
+	h.Add(7)
+	out := h.Render(10)
+	if lines := strings.Count(out, "\n"); lines != 1 {
+		t.Fatalf("single-bin render has %d lines, want 1:\n%s", lines, out)
+	}
+	if !strings.Contains(out, "2") || !strings.Contains(out, "#") {
+		t.Errorf("single-bin render missing count or bar: %q", out)
+	}
+	if h.Total() != 2 || h.Bin(0) != 2 {
+		t.Errorf("single bin holds %d of %d samples", h.Bin(0), h.Total())
+	}
+}
+
+func TestHistogramOutOfRangeRender(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	h.Add(-100) // clamps into the first bin
+	h.Add(100)  // clamps into the last bin
+	h.Add(5)
+	if h.Total() != 3 {
+		t.Fatalf("total %d, want 3 (out-of-range samples must be kept)", h.Total())
+	}
+	if h.Bin(0) != 1 || h.Bin(4) != 1 || h.Bin(2) != 1 {
+		t.Errorf("bins = [%d %d %d %d %d], want clamped 1,0,1,0,1",
+			h.Bin(0), h.Bin(1), h.Bin(2), h.Bin(3), h.Bin(4))
+	}
+	out := h.Render(10)
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("render has %d lines, want 3 non-empty bins:\n%s", lines, out)
+	}
+	// Rendered ranges stay the declared bin bounds — clamping must not
+	// invent ranges covering the out-of-range samples.
+	if !strings.Contains(out, "0.0–2.0") || !strings.Contains(out, "8.0–10.0") {
+		t.Errorf("render ranges drifted from the declared bins:\n%s", out)
+	}
+}
+
+func TestQuantileEndpointsExact(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{42, -7, 13, 99.5, 0} {
+		s.Add(v)
+	}
+	// q=0 and q=1 are exact order statistics, never interpolated.
+	if got := s.Quantile(0); got != -7 {
+		t.Errorf("Q(0) = %v, want the minimum -7", got)
+	}
+	if got := s.Quantile(1); got != 99.5 {
+		t.Errorf("Q(1) = %v, want the maximum 99.5", got)
+	}
+	// Out-of-range q clamps to the same order statistics.
+	if got := s.Quantile(-0.5); got != -7 {
+		t.Errorf("Q(-0.5) = %v, want -7", got)
+	}
+	if got := s.Quantile(2); got != 99.5 {
+		t.Errorf("Q(2) = %v, want 99.5", got)
+	}
+}
+
+func TestQuantileInterpolationExact(t *testing.T) {
+	// Four sorted values 10,20,30,40: position q*(n-1) interpolates
+	// linearly between neighbors.
+	var s Sample
+	for _, v := range []float64{40, 10, 30, 20} {
+		s.Add(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{1.0 / 3, 20}, // exactly on the second value
+		{0.5, 25},     // midway between 20 and 30
+		{1.0 / 6, 15}, // midway between 10 and 20
+		{0.9, 37},     // pos 2.7 → 30 + 0.7*(40-30)
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Q(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

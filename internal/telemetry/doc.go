@@ -1,0 +1,41 @@
+// Package telemetry is the simulator's observability layer: sampled
+// per-packet tracing and windowed time-series probes, fed by the kernel's
+// noc.Observer tap, plus the Chrome trace-event export that makes traces
+// loadable in Perfetto.
+//
+// # Zero cost when disabled
+//
+// The kernel carries no telemetry state of its own. A Collector attaches
+// through noc.Sim.SetObserver; with no observer attached every event site
+// reduces to one nil check, and a run's Stats are bit-identical to an
+// observed run's (the kernel never reads the observer —
+// noc.TestObserverDoesNotPerturbStats and
+// core.TestTelemetryObserverOffBitIdentical pin both directions).
+//
+// # Trace sampling semantics and determinism
+//
+// Packet tracing is sampled, not exhaustive: packet index i is traced iff
+// SampledPacket(seed, i, rate), a pure function of the collector's seed
+// and the packet's injection index — no RNG state, no dependence on event
+// arrival order, worker count or wall clock. Sweeps chain the per-cell
+// seed through runner.Seed(base, cellIndex) exactly like every other
+// randomized axis (the CONCURRENCY contract in CHANGES.md), so a traced
+// sweep is bit-identical for any worker count. A traced packet records one
+// Span: injection, one HopSpan per router visited (buffer arrival, switch
+// departure — their difference is queueing plus pipeline wait), and tail
+// ejection. Span memory is bounded by Config.MaxSpans; packets sampled
+// past the cap are counted in Trace.Truncated rather than silently lost.
+// Under an armed fault profile only the successful traversal of a hop is
+// visible; retries keep the flit buffered and extend the hop's wait.
+//
+// # Windowed probes
+//
+// Probes aggregate the same event stream into fixed ProbeWindowClks
+// windows: per-link flit counts (utilization = flits/window), per-router
+// buffer occupancy sampled at window close, and injection/ejection flit
+// throughput. Windows live in flat ring arenas bounded by
+// Config.MaxWindows — a long run keeps its most recent windows and counts
+// the evicted ones — and are rendered as CSV, timelines and text heatmaps
+// by internal/report. This is the sliding-window traffic census the D3NOC
+// reconfiguration direction (see ROADMAP.md) reads as its sensor input.
+package telemetry

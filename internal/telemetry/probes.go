@@ -1,0 +1,238 @@
+package telemetry
+
+// Probes accumulates the windowed time-series census of one run: per-link
+// flit counts, per-router buffer occupancy (sampled at window close) and
+// injection/ejection flit throughput, in fixed windows of WindowClks
+// cycles. All series live in flat ring arenas sized at construction —
+// recording never allocates — and the ring keeps the most recent
+// MaxWindows closed windows, counting older ones in Evicted.
+//
+// Window w covers cycles [w*WindowClks, (w+1)*WindowClks). The window
+// holding each event is derived from the event's cycle, so idle stretches
+// the kernel leaps over simply close as empty windows (occupancy is
+// necessarily zero during a leap: the kernel only skips when nothing is
+// buffered or live).
+type Probes struct {
+	windowClks           int64
+	numLinks, numRouters int
+	// maxWindows bounds retained *closed* windows; the arenas hold one
+	// extra slot so the open window never collides with a retained one.
+	maxWindows int
+	nslots     int
+
+	// cur is the absolute index of the open window; closed windows
+	// [first, first+count) are retained, older ones evicted.
+	cur     int64
+	first   int64
+	count   int
+	evicted int64
+	done    bool
+
+	// occ mirrors the kernel's per-router buffered-flit counts (events:
+	// inject/deliver increment, send decrements).
+	occ []int32
+
+	// Ring arenas, indexed slot*stride + i with slot = window % nslots.
+	linkFlits []uint32 // per closed/open window × link: channel entries
+	occAt     []uint32 // per closed window × router: occupancy at close
+	injected  []uint32 // per window: flits injected
+	ejected   []uint32 // per window: flits ejected
+}
+
+// newProbes sizes the arenas for a network.
+func newProbes(windowClks int64, maxWindows, numLinks, numRouters int) *Probes {
+	nslots := maxWindows + 1
+	return &Probes{
+		windowClks: windowClks,
+		numLinks:   numLinks,
+		numRouters: numRouters,
+		maxWindows: maxWindows,
+		nslots:     nslots,
+		occ:        make([]int32, numRouters),
+		linkFlits:  make([]uint32, nslots*numLinks),
+		occAt:      make([]uint32, nslots*numRouters),
+		injected:   make([]uint32, nslots),
+		ejected:    make([]uint32, nslots),
+	}
+}
+
+// slot maps an absolute window index onto its ring slot.
+func (p *Probes) slot(w int64) int { return int(w % int64(p.nslots)) }
+
+// advance closes windows until the one holding cycle is open.
+func (p *Probes) advance(cycle int64) {
+	for to := cycle / p.windowClks; p.cur < to; {
+		p.closeCur()
+	}
+}
+
+// closeCur snapshots the open window's occupancy, retains it, and opens
+// the next window (evicting the oldest retained one at the ring bound).
+func (p *Probes) closeCur() {
+	base := p.slot(p.cur) * p.numRouters
+	for r, v := range p.occ {
+		p.occAt[base+r] = uint32(v)
+	}
+	p.count++
+	p.cur++
+	if p.count > p.maxWindows {
+		p.first++
+		p.count--
+		p.evicted++
+	}
+	// Zero the new open window's slot.
+	s := p.slot(p.cur)
+	clear(p.linkFlits[s*p.numLinks : (s+1)*p.numLinks])
+	p.injected[s] = 0
+	p.ejected[s] = 0
+}
+
+// finish closes through the window holding finalCycle.
+func (p *Probes) finish(finalCycle int64) {
+	if p.done {
+		return
+	}
+	p.advance(finalCycle)
+	p.closeCur()
+	p.done = true
+}
+
+// inject records one flit entering node's injection VC.
+func (p *Probes) inject(node int32, cycle int64) {
+	p.advance(cycle)
+	p.injected[p.slot(p.cur)]++
+	p.occ[node]++
+}
+
+// deliver records one flit buffered at router dst off a channel.
+func (p *Probes) deliver(dst int32, cycle int64) {
+	p.advance(cycle)
+	p.occ[dst]++
+}
+
+// send records one flit leaving a router: onto channel link, or ejected
+// (link < 0).
+func (p *Probes) send(router, link int32, cycle int64) {
+	p.advance(cycle)
+	p.occ[router]--
+	s := p.slot(p.cur)
+	if link >= 0 {
+		p.linkFlits[s*p.numLinks+int(link)]++
+	} else {
+		p.ejected[s]++
+	}
+}
+
+// WindowClks returns the window length in cycles.
+func (p *Probes) WindowClks() int64 { return p.windowClks }
+
+// NumLinks returns the per-window link-series width.
+func (p *Probes) NumLinks() int { return p.numLinks }
+
+// NumRouters returns the per-window occupancy-series width.
+func (p *Probes) NumRouters() int { return p.numRouters }
+
+// Windows returns the retained closed-window count (after Finish:
+// min(TotalWindows, MaxWindows)).
+func (p *Probes) Windows() int { return p.count }
+
+// TotalWindows returns how many windows ever closed, evicted included.
+func (p *Probes) TotalWindows() int64 { return p.first + int64(p.count) }
+
+// Evicted returns the closed windows dropped by the ring bound.
+func (p *Probes) Evicted() int64 { return p.evicted }
+
+// Window returns the i-th retained closed window (0 = oldest retained).
+func (p *Probes) Window(i int) WindowView {
+	if i < 0 || i >= p.count {
+		panic("telemetry: window index out of range")
+	}
+	abs := p.first + int64(i)
+	return WindowView{p: p, abs: abs, slot: p.slot(abs)}
+}
+
+// WindowView reads one closed window's series.
+type WindowView struct {
+	p    *Probes
+	abs  int64
+	slot int
+}
+
+// Index returns the window's absolute index (window 0 starts at cycle 0).
+func (w WindowView) Index() int64 { return w.abs }
+
+// StartClk and EndClk bound the window's half-open cycle range.
+func (w WindowView) StartClk() int64 { return w.abs * w.p.windowClks }
+
+// EndClk is the exclusive upper bound of the window's cycle range.
+func (w WindowView) EndClk() int64 { return (w.abs + 1) * w.p.windowClks }
+
+// InjectedFlits returns flits injected during the window.
+func (w WindowView) InjectedFlits() int64 { return int64(w.p.injected[w.slot]) }
+
+// EjectedFlits returns flits ejected during the window.
+func (w WindowView) EjectedFlits() int64 { return int64(w.p.ejected[w.slot]) }
+
+// LinkFlits returns channel l's flit entries during the window.
+func (w WindowView) LinkFlits(l int) int64 {
+	return int64(w.p.linkFlits[w.slot*w.p.numLinks+l])
+}
+
+// LinkUtil returns channel l's utilization (flits per cycle, ≤ 1 for
+// full windows since a channel admits one flit per cycle).
+func (w WindowView) LinkUtil(l int) float64 {
+	return float64(w.LinkFlits(l)) / float64(w.p.windowClks)
+}
+
+// Occupancy returns router r's buffered-flit count at window close.
+func (w WindowView) Occupancy(r int) int64 {
+	return int64(w.p.occAt[w.slot*w.p.numRouters+r])
+}
+
+// MaxLink returns the busiest channel of the window and its utilization.
+func (w WindowView) MaxLink() (link int, util float64) {
+	var peak int64
+	for l := 0; l < w.p.numLinks; l++ {
+		if f := w.LinkFlits(l); f > peak {
+			peak, link = f, l
+		}
+	}
+	return link, float64(peak) / float64(w.p.windowClks)
+}
+
+// MeanLinkUtil averages utilization over every channel.
+func (w WindowView) MeanLinkUtil() float64 {
+	if w.p.numLinks == 0 {
+		return 0
+	}
+	var sum int64
+	base := w.slot * w.p.numLinks
+	for _, f := range w.p.linkFlits[base : base+w.p.numLinks] {
+		sum += int64(f)
+	}
+	return float64(sum) / float64(w.p.windowClks) / float64(w.p.numLinks)
+}
+
+// MaxOccupancy returns the fullest router at window close and its
+// buffered-flit count.
+func (w WindowView) MaxOccupancy() (router int, occ int64) {
+	for r := 0; r < w.p.numRouters; r++ {
+		if o := w.Occupancy(r); o > occ {
+			occ, router = o, r
+		}
+	}
+	return router, occ
+}
+
+// MeanOccupancy averages window-close occupancy over routers.
+func (w WindowView) MeanOccupancy() float64 {
+	if w.p.numRouters == 0 {
+		return 0
+	}
+	var sum int64
+	base := w.slot * w.p.numRouters
+	for _, o := range w.p.occAt[base : base+w.p.numRouters] {
+		sum += int64(o)
+	}
+	return float64(sum) / float64(w.p.numRouters)
+}

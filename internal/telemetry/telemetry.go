@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/runner"
+	"repro/internal/topology"
+)
+
+// Defaults for Config's zero fields.
+const (
+	// DefaultMaxSpans bounds a collector's traced-packet memory.
+	DefaultMaxSpans = 4096
+	// DefaultMaxWindows bounds the probe ring: a long run retains its
+	// most recent windows and counts the evicted ones.
+	DefaultMaxWindows = 512
+)
+
+// Config parameterizes a Collector.
+type Config struct {
+	// SampleRate is the fraction of packets traced, in [0, 1]. Zero
+	// disables tracing entirely.
+	SampleRate float64
+	// Seed drives the sampling decision: packet i is traced iff
+	// SampledPacket(Seed, i, SampleRate). Sweeps must chain it from the
+	// cell index (runner.Seed) like every other randomized axis.
+	Seed int64
+	// MaxSpans caps traced packets (0 = DefaultMaxSpans); sampled packets
+	// beyond the cap are counted in Trace.Truncated, not recorded.
+	MaxSpans int
+	// ProbeWindowClks is the time-series window length in cycles. Zero
+	// disables the probes.
+	ProbeWindowClks int64
+	// MaxWindows caps the probe ring (0 = DefaultMaxWindows).
+	MaxWindows int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = DefaultMaxSpans
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = DefaultMaxWindows
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SampleRate < 0 || c.SampleRate > 1 {
+		return fmt.Errorf("telemetry: sample rate %v outside [0,1]", c.SampleRate)
+	}
+	if c.ProbeWindowClks < 0 {
+		return fmt.Errorf("telemetry: negative probe window %d", c.ProbeWindowClks)
+	}
+	return nil
+}
+
+// SampledPacket reports whether packet index pkt is traced under (seed,
+// rate). It is a pure function of its arguments — the SplitMix64 hash of
+// the packet index under the seed, compared against the rate threshold —
+// so the traced set never depends on event order, worker count or any
+// shared RNG. rate ≥ 1 traces everything; rate ≤ 0 nothing.
+func SampledPacket(seed int64, pkt int32, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	// Top 53 bits of the hash as a uniform float in [0, 1).
+	u := uint64(runner.Seed(seed, int(pkt)))
+	return float64(u>>11)/(1<<53) < rate
+}
+
+// spanOf sentinel values for packets without a recorded span.
+const (
+	spanNotSampled = -1 // hashed out of the sample
+	spanTruncated  = -2 // sampled, but MaxSpans was already reached
+)
+
+// Collector implements noc.Observer, turning the kernel's flit events
+// into a Trace (sampled spans) and Probes (windowed series). A collector
+// observes exactly one Run: attach with noc.Sim.SetObserver, call Finish
+// with the run's final cycle, then read Trace and Probes. It is not safe
+// for concurrent use (neither is the Sim it watches).
+type Collector struct {
+	cfg   Config
+	trace Trace
+	// spanOf[pkt] is the packet's span index, or a sentinel. Packet
+	// indices are dense (injection order), so a slice replaces a map on
+	// the per-event path.
+	spanOf []int32
+	probes *Probes
+}
+
+// New builds a collector for one run on net. The probe arenas are sized
+// by the network's link and router counts up front, so observing performs
+// no per-window allocations.
+func New(cfg Config, net *topology.Network) (*Collector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Collector{cfg: cfg}
+	c.trace.SampleRate = cfg.SampleRate
+	c.trace.Seed = cfg.Seed
+	if cfg.ProbeWindowClks > 0 {
+		c.probes = newProbes(cfg.ProbeWindowClks, cfg.MaxWindows,
+			len(net.Links), net.NumNodes())
+	}
+	return c, nil
+}
+
+// Trace returns the sampled packet spans recorded so far.
+func (c *Collector) Trace() *Trace { return &c.trace }
+
+// Probes returns the windowed series, or nil when ProbeWindowClks was 0.
+func (c *Collector) Probes() *Probes { return c.probes }
+
+// Finish closes the probe window containing finalCycle (normally the
+// run's Stats.Cycles), so every recorded event is inside a closed window:
+// after Finish, Probes.Windows covers cycles [0, finalCycle] and the
+// closed-window count obeys the window math finalCycle/ProbeWindowClks+1
+// (minus ring evictions). Call it once, after Run returns.
+func (c *Collector) Finish(finalCycle int64) {
+	if c.probes != nil {
+		c.probes.finish(finalCycle)
+	}
+}
+
+// span returns the packet's recorded span, or nil.
+func (c *Collector) span(pkt int32) *Span {
+	if int(pkt) >= len(c.spanOf) {
+		return nil
+	}
+	if i := c.spanOf[pkt]; i >= 0 {
+		return &c.trace.Spans[i]
+	}
+	return nil
+}
+
+// PacketInjected implements noc.Observer: the sampling decision point.
+func (c *Collector) PacketInjected(pkt int32, p noc.Packet, cycle int64) {
+	c.trace.TotalPackets++
+	for int(pkt) >= len(c.spanOf) {
+		c.spanOf = append(c.spanOf, spanNotSampled)
+	}
+	if !SampledPacket(c.cfg.Seed, pkt, c.cfg.SampleRate) {
+		c.spanOf[pkt] = spanNotSampled
+		return
+	}
+	c.trace.SampledPackets++
+	if len(c.trace.Spans) >= c.cfg.MaxSpans {
+		c.trace.Truncated++
+		c.spanOf[pkt] = spanTruncated
+		return
+	}
+	c.spanOf[pkt] = int32(len(c.trace.Spans))
+	c.trace.Spans = append(c.trace.Spans, Span{
+		Packet:     pkt,
+		Src:        p.Src,
+		Dst:        p.Dst,
+		SizeFlits:  p.SizeFlits,
+		ReleaseClk: p.Release,
+		InjectClk:  cycle,
+		EjectClk:   -1,
+		// The injection hop: buffered at the source router now, not yet
+		// granted the switch.
+		Hops: []HopSpan{{Router: int32(p.Src), Link: -1, ArriveClk: cycle, DepartClk: -1}},
+	})
+}
+
+// FlitInjected implements noc.Observer.
+func (c *Collector) FlitInjected(pkt int32, node int32, cycle int64) {
+	if c.probes != nil {
+		c.probes.inject(node, cycle)
+	}
+}
+
+// FlitDelivered implements noc.Observer.
+func (c *Collector) FlitDelivered(pkt int32, link int32, dst int32, head bool, cycle int64) {
+	if c.probes != nil {
+		c.probes.deliver(dst, cycle)
+	}
+	if !head {
+		return
+	}
+	if s := c.span(pkt); s != nil {
+		s.Hops = append(s.Hops, HopSpan{Router: dst, Link: -1, ArriveClk: cycle, DepartClk: -1})
+	}
+}
+
+// FlitSent implements noc.Observer.
+func (c *Collector) FlitSent(pkt int32, router int32, link int32, head, tail, dropped bool, cycle int64) {
+	if c.probes != nil {
+		c.probes.send(router, link, cycle)
+	}
+	if head || (tail && link < 0) {
+		s := c.span(pkt)
+		if s == nil {
+			return
+		}
+		if head {
+			// Close the hop opened at this router by the head's arrival.
+			for i := len(s.Hops) - 1; i >= 0; i-- {
+				if s.Hops[i].Router == router && s.Hops[i].DepartClk < 0 {
+					s.Hops[i].DepartClk = cycle
+					s.Hops[i].Link = link
+					break
+				}
+			}
+		}
+		if tail && link < 0 {
+			// Tail ejection: the flit retires at cycle+1 (the kernel's
+			// MakespanClks convention).
+			s.EjectClk = cycle + 1
+			s.Dropped = dropped
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// HopSpan times one router visit of a traced packet's head flit.
+type HopSpan struct {
+	// Router is the visited node.
+	Router int32
+	// Link is the outbound channel the head flit departed on (-1 for the
+	// ejection port, or while the flit is still buffered).
+	Link int32
+	// ArriveClk is the cycle the head flit entered the router's input
+	// buffer (injection or link delivery); DepartClk the cycle it won
+	// switch allocation (-1 while buffered). Their difference is the
+	// pipeline latency plus VC/switch queueing wait at this hop.
+	ArriveClk, DepartClk int64
+}
+
+// WaitClks returns the hop's buffered time (0 while still buffered).
+func (h HopSpan) WaitClks() int64 {
+	if h.DepartClk < 0 {
+		return 0
+	}
+	return h.DepartClk - h.ArriveClk
+}
+
+// Span is the recorded lifetime of one sampled packet.
+type Span struct {
+	// Packet is the kernel's packet index (the sampling domain).
+	Packet int32
+	// Src and Dst are the packet's endpoints; SizeFlits its length.
+	Src, Dst  topology.NodeID
+	SizeFlits int
+	// ReleaseClk is the cycle the packet became ready at the source;
+	// InjectClk the cycle its head flit entered the injection VC; EjectClk
+	// the cycle its tail flit retired at the destination (-1 if the run
+	// ended first). EjectClk − ReleaseClk is the kernel's packet latency.
+	ReleaseClk, InjectClk, EjectClk int64
+	// Dropped marks a packet whose retransmission budget ran out: its
+	// flits reached the destination but were discarded there.
+	Dropped bool
+	// Hops lists the router visits in path order, starting at Src.
+	Hops []HopSpan
+}
+
+// LatencyClks returns the packet latency (release to tail retirement), or
+// -1 for a span the run cut short.
+func (s *Span) LatencyClks() int64 {
+	if s.EjectClk < 0 {
+		return -1
+	}
+	return s.EjectClk - s.ReleaseClk
+}
+
+// MaxWaitClks returns the longest single-hop buffered time — the span's
+// congestion hotspot.
+func (s *Span) MaxWaitClks() (router int32, wait int64) {
+	router = -1
+	for _, h := range s.Hops {
+		if w := h.WaitClks(); w > wait {
+			wait, router = w, h.Router
+		}
+	}
+	return router, wait
+}
+
+// Trace is the sampled span set of one run.
+type Trace struct {
+	// SampleRate and Seed reproduce the sampling decision (see
+	// SampledPacket).
+	SampleRate float64
+	Seed       int64
+	// TotalPackets counts packets injected; SampledPackets those the
+	// sampler selected; Truncated the selected ones dropped by MaxSpans
+	// (so Spans holds SampledPackets − Truncated spans).
+	TotalPackets, SampledPackets, Truncated int64
+	// Spans holds the recorded packets in injection-event order.
+	Spans []Span
+}
+
+// ProcessTrace labels one run's trace for a multi-run export: each run
+// becomes one Perfetto "process", its sampled packets the threads.
+type ProcessTrace struct {
+	// Name labels the process track (e.g. "mesh / uniform @ 0.10").
+	Name  string
+	Trace *Trace
+}
+
+// chromeEvent is one Chrome trace-event object. Timestamps are in the
+// format's microsecond unit, 1 cycle = 1 µs, so Perfetto's timeline reads
+// directly in cycles.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope Perfetto and chrome://tracing
+// load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace serializes traces as Chrome trace-event JSON (the
+// object form with a traceEvents array), loadable in Perfetto or
+// chrome://tracing. Each ProcessTrace becomes one process (pid = its
+// index, named by a process_name metadata event); each sampled packet one
+// thread (tid = packet index) carrying a packet-level complete ("X") event
+// over its release-to-ejection lifetime and one per-hop complete event per
+// router visit, with the hop's queueing wait and outbound link in args.
+func WriteChromeTrace(w io.Writer, procs []ProcessTrace) error {
+	var events []chromeEvent
+	for pid, proc := range procs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": proc.Name},
+		})
+		for i := range proc.Trace.Spans {
+			s := &proc.Trace.Spans[i]
+			end := s.EjectClk
+			unfinished := end < 0
+			if unfinished {
+				// The run ended mid-flight: close the packet event at its
+				// last recorded activity so the track still renders.
+				end = s.InjectClk
+				for _, h := range s.Hops {
+					if h.ArriveClk > end {
+						end = h.ArriveClk
+					}
+					if h.DepartClk > end {
+						end = h.DepartClk
+					}
+				}
+			}
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("pkt %d: %d→%d", s.Packet, s.Src, s.Dst),
+				Cat:  "packet", Ph: "X",
+				TS: s.ReleaseClk, Dur: end - s.ReleaseClk,
+				PID: pid, TID: int64(s.Packet),
+				Args: map[string]any{
+					"size_flits": s.SizeFlits,
+					"dropped":    s.Dropped,
+					"unfinished": unfinished,
+				},
+			})
+			for _, h := range s.Hops {
+				depart := h.DepartClk
+				if depart < 0 {
+					depart = h.ArriveClk
+				}
+				args := map[string]any{"wait_clks": h.WaitClks()}
+				if h.Link >= 0 {
+					args["out_link"] = h.Link
+				} else {
+					args["out_link"] = "eject"
+				}
+				events = append(events, chromeEvent{
+					Name: fmt.Sprintf("r%d", h.Router),
+					Cat:  "hop", Ph: "X",
+					TS: h.ArriveClk, Dur: depart - h.ArriveClk,
+					PID: pid, TID: int64(s.Packet),
+					Args: args,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"clock": "1 µs = 1 simulator cycle"},
+	})
+}
